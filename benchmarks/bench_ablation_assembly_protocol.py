@@ -1,0 +1,152 @@
+"""Ablation: the §3.1.1 assembly protocol — "natural" vs values-only.
+
+The paper first sketches a *natural* assembly of the distributed E:
+every slave ships global row indices, column indices AND values
+(three Gatherv calls), then rejects it — "why should slaves send to
+masters the global row and column indices?" — in favour of a single
+values-only message per slave ([O_i | E_ii | E_ij…]) with all indices
+computed by the masters.
+
+This bench implements the natural protocol on the simulated MPI and
+compares metered bytes against the paper's protocol (as implemented in
+:func:`repro.core.spmd.assemble_coarse_spmd`).
+"""
+
+import numpy as np
+import pytest
+
+from common import diffusion_2d, write_result
+from repro import SchwarzSolver
+from repro.common.asciiplot import table
+from repro.core.coarse import elect_masters_uniform
+from repro.core.spmd import assemble_coarse_spmd, build_master_comms
+from repro.mpi import Meter, run_spmd
+
+N = 12
+NEV = 6
+P = 3
+
+
+def natural_assembly(comm, dec, space):
+    """The paper's rejected baseline: slaves compute global indices and
+    Gatherv (indices, indices, values) to their master."""
+    i = comm.rank
+    sub = dec.subdomains[i]
+    W = space.W[i]
+    layout = build_master_comms(comm, P)
+    split = layout.split
+    # step 1 of the natural flow: everyone learns every ν (O(N) allgather)
+    nus = np.asarray(comm.allgather(W.shape[1]))
+    offsets = np.concatenate([[0], np.cumsum(nus)])
+    # local blocks (same numerics as algorithm 1)
+    T = sub.A_dir @ W
+    for j in sub.neighbors:
+        comm.isend(np.ascontiguousarray(T[sub.shared[j]]), j, 777)
+    blocks = {i: W.T @ T}
+    for j in sub.neighbors:
+        U = comm.recv(j, 777)
+        blocks[j] = np.ascontiguousarray(W[sub.shared[j]]).T @ U
+    # assemble local COO WITH GLOBAL INDICES on the slave
+    rows_l, cols_l, vals_l = [], [], []
+    for j, blk in blocks.items():
+        r = np.repeat(np.arange(offsets[i], offsets[i + 1]), blk.shape[1])
+        c = np.tile(np.arange(offsets[j], offsets[j + 1]), blk.shape[0])
+        rows_l.append(r)
+        cols_l.append(c)
+        vals_l.append(blk.ravel())
+    rows_l = np.concatenate(rows_l)
+    cols_l = np.concatenate(cols_l)
+    vals_l = np.concatenate(vals_l)
+    # three Gatherv calls (indices are int64: same 8 bytes as a double)
+    split.gatherv(np.asarray(sub.neighbors))
+    got_r = split.gatherv(rows_l)
+    got_c = split.gatherv(cols_l)
+    got_v = split.gatherv(vals_l)
+    if layout.is_master:
+        return (np.concatenate(got_r), np.concatenate(got_c),
+                np.concatenate(got_v))
+    return None
+
+
+@pytest.fixture(scope="module")
+def protocols():
+    mesh, form, _ = diffusion_2d(n=32, degree=2)
+    solver = SchwarzSolver(mesh, form, num_subdomains=N, delta=1,
+                           nev=NEV, seed=0)
+    dec, space = solver.decomposition, solver.deflation
+
+    m_nat = Meter(N)
+    nat_out = run_spmd(N, natural_assembly, dec, space, meter=m_nat)
+    m_pap = Meter(N)
+    run_spmd(N, lambda comm: assemble_coarse_spmd(comm, dec, space, P)
+             and None, meter=m_pap)
+
+    masters = set(elect_masters_uniform(N, P).tolist())
+    # isolate the slave -> master shipment: natural = the Gatherv
+    # payloads (neighbour list + rows + cols + values); paper = the one
+    # packed message (total p2p minus the overlap exchange, which both
+    # protocols share)
+    slave_bytes_nat = sum(_coll_bytes(m_nat.stats(r))
+                          for r in range(N) if r not in masters)
+    slave_bytes_pap = 0
+    for r in range(N):
+        if r in masters:
+            continue
+        sub = dec.subdomains[r]
+        overlap = sum(sub.shared[j].size for j in sub.neighbors)
+        slave_bytes_pap += m_pap.stats(r).send_bytes - 8 * NEV * overlap
+    txt = table(
+        ["protocol", "total bytes", "slave→master bytes",
+         "collective calls"],
+        [["natural (Gatherv indices+values)", m_nat.total_bytes()
+          + _total_coll_bytes(m_nat), slave_bytes_nat,
+          m_nat.total_collectives("gatherv")],
+         ["paper (values only, one message)", m_pap.total_bytes(),
+          slave_bytes_pap, m_pap.total_collectives("gatherv")]],
+        title=f"ABLATION — coarse assembly protocol (N={N}, P={P}, "
+              f"ν={NEV})")
+    write_result("ablation_assembly_protocol", txt)
+    # verify the natural protocol produced a correct E on the masters
+    E_ref = solver.coarse.E.toarray()
+    E_nat = np.zeros_like(E_ref)
+    for out in nat_out:
+        if out is None:
+            continue
+        r, c, v = out
+        np.add.at(E_nat, (r, c), v)
+    assert np.allclose(E_nat, E_ref, atol=1e-9 * abs(E_ref).max())
+    return m_nat, m_pap, slave_bytes_nat, slave_bytes_pap
+
+
+def _coll_bytes(stats):
+    return sum(stats.collective_bytes.values())
+
+
+def _total_coll_bytes(meter):
+    return sum(_coll_bytes(meter.stats(r)) for r in range(meter.world_size))
+
+
+def test_values_only_protocol_ships_less(protocols):
+    """Slaves must send strictly less than half the natural protocol's
+    slave traffic (indices dropped: 3 arrays → 1)."""
+    _, _, nat, pap = protocols
+    assert pap < nat / 2
+
+
+def test_no_gatherv_in_setup_paper_protocol(protocols):
+    """The paper's assembly uses point-to-point messages (plus fixed-count
+    gathers), not Gatherv with variable counts."""
+    _, m_pap, _, _ = protocols
+    assert m_pap.total_collectives("gatherv") == 0
+
+
+def test_bench_natural_protocol(protocols, benchmark):
+    mesh, form, _ = diffusion_2d(n=24, degree=2)
+    solver = SchwarzSolver(mesh, form, num_subdomains=8, delta=1,
+                           nev=4, seed=0)
+    dec, space = solver.decomposition, solver.deflation
+
+    def run():
+        run_spmd(8, natural_assembly, dec, space)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

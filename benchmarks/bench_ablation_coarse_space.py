@@ -1,0 +1,133 @@
+"""Ablation: what goes into the coarse space (ν sweep, GenEO vs
+alternatives).
+
+Sweeps the paper's design choices:
+
+* ν (deflation vectors per subdomain, paper: 1-30): more vectors →
+  fewer iterations, bigger E;
+* coarse space construction: none / Nicolaides constants / a-posteriori
+  Ritz / GenEO (eq. 9) — on a *high-contrast* problem only GenEO is
+  fully robust;
+* overlap width δ.
+"""
+
+import numpy as np
+import pytest
+
+from common import diffusion_2d, write_result
+from repro import SchwarzSolver
+from repro.common.asciiplot import table
+from repro.core import CoarseOperator, OneLevelRAS, TwoLevelADEF1, ritz_deflation
+from repro.krylov import gmres
+
+N = 16
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return diffusion_2d(n=48, degree=2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def nu_sweep(problem):
+    mesh, form, _ = problem
+    rows = []
+    for nev in (1, 2, 4, 8, 16):
+        solver = SchwarzSolver(mesh, form, num_subdomains=N, delta=1,
+                               nev=nev, seed=0)
+        report = solver.solve(tol=1e-8, restart=100, maxiter=300)
+        rows.append((nev, solver.coarse_dim, report.iterations,
+                     report.converged))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def space_comparison(problem):
+    mesh, form, _ = problem
+    rows = []
+    for label, kwargs in (("none (one-level)", dict(levels=1)),
+                          ("Nicolaides constants", dict(nev=0)),
+                          ("GenEO nev=8", dict(nev=8))):
+        solver = SchwarzSolver(mesh, form, num_subdomains=N, delta=1,
+                               seed=0, **kwargs)
+        report = solver.solve(tol=1e-8, restart=100, maxiter=300)
+        rows.append([label, solver.coarse_dim, report.iterations,
+                     report.converged])
+    # a-posteriori Ritz coarse space (paper's conclusion)
+    solver = SchwarzSolver(mesh, form, num_subdomains=N, delta=1,
+                           levels=1, seed=0)
+    dec, ras = solver.decomposition, solver.one_level
+    b = solver.problem.rhs()
+    space = ritz_deflation(dec, ras, b, n_vectors=24)
+    pre = TwoLevelADEF1(ras, CoarseOperator(space))
+    res = gmres(solver.problem.matrix(), b, M=pre.apply, tol=1e-8,
+                restart=100, maxiter=300)
+    rows.append(["a-posteriori Ritz (24 vec)", space.m, res.iterations,
+                 res.converged])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def delta_sweep(problem):
+    mesh, form, _ = problem
+    rows = []
+    for delta in (1, 2, 3):
+        solver = SchwarzSolver(mesh, form, num_subdomains=N, delta=delta,
+                               nev=8, seed=0)
+        report = solver.solve(tol=1e-8, restart=100, maxiter=300)
+        maxloc = max(s.size for s in solver.decomposition.subdomains)
+        rows.append((delta, maxloc, report.iterations, report.converged))
+    return rows
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_tables(nu_sweep, space_comparison, delta_sweep):
+    t1 = table(["nu", "dim(E)", "#it", "converged"],
+               [list(r) for r in nu_sweep],
+               title=f"ABLATION — deflation vectors per subdomain (N={N})")
+    t2 = table(["coarse space", "dim", "#it", "converged"],
+               space_comparison,
+               title="ABLATION — coarse space construction")
+    t3 = table(["delta", "max n_i", "#it", "converged"],
+               [list(r) for r in delta_sweep],
+               title="ABLATION — overlap width")
+    write_result("ablation_coarse_space", "\n\n".join((t1, t2, t3)))
+
+
+def test_more_vectors_fewer_iterations(nu_sweep):
+    its = [r[2] for r in nu_sweep]
+    assert its[-1] <= its[0]
+    assert nu_sweep[-1][3]                     # largest ν converges
+
+def test_dim_e_proportional_to_nu(nu_sweep):
+    for nev, dim_e, _, _ in nu_sweep:
+        assert dim_e == nev * N
+
+
+def test_geneo_beats_nicolaides_on_high_contrast(space_comparison):
+    by_label = {r[0]: r for r in space_comparison}
+    geneo_its = by_label["GenEO nev=8"][2]
+    nico_its = by_label["Nicolaides constants"][2]
+    one_its = by_label["none (one-level)"][2]
+    assert by_label["GenEO nev=8"][3]
+    assert geneo_its <= nico_its
+    assert geneo_its < one_its
+
+
+def test_wider_overlap_not_worse(delta_sweep):
+    its = [r[2] for r in delta_sweep]
+    assert its[-1] <= its[0] + 2
+
+
+def test_bench_decomposition_build(problem, benchmark):
+    """Kernel timed: building the full overlapping decomposition."""
+    from repro.dd import Decomposition, Problem
+    from repro.partition import partition_mesh
+    mesh, form, _ = problem
+    prob = Problem(mesh, form, scaling="jacobi")
+    part = partition_mesh(mesh, N, seed=0)
+
+    def build():
+        return Decomposition(prob, part, delta=1)
+
+    benchmark.pedantic(build, rounds=3, iterations=1)

@@ -1,0 +1,102 @@
+"""Ablation: how many masters P? (§3.4, fig. 11 discussion.)
+
+Paper: "increasing the number of masters P does not always have a
+beneficial effect ... because distributed solvers have difficulties
+scaling beyond ~128 processes".  With the α–β model, the distributed
+Cholesky's panel broadcasts serialise: solve time first drops with P
+(more parallel flops) then rises (latency-bound collectives) — a
+crossover this bench locates, alongside the replicated-E alternative the
+paper dismisses for memory reasons.
+"""
+
+import numpy as np
+import pytest
+
+from common import write_result
+from repro.common.asciiplot import table
+from repro.perfmodel import CURIE
+
+
+def modelled_coarse_solve(dim_e: int, P: int, model=CURIE) -> float:
+    """Pipelined block substitution: flops spread over P, one broadcast
+    per panel (2 log P latency each), P panels."""
+    flops = model.compute(2.0 * dim_e * dim_e / P)
+    comm = P * 2 * np.log2(max(P, 2)) * model.latency \
+        + dim_e * 8 * model.inv_bandwidth * np.log2(max(P, 2))
+    return flops + comm
+
+
+def modelled_factorization(dim_e: int, P: int, model=CURIE,
+                           band: int = 400) -> float:
+    """E is block-sparse; a banded/sparse factorization costs
+    ~ dim·b² flops (b ≈ ν·|O_i| after reordering), spread over P, plus
+    one panel broadcast per master."""
+    flops = model.compute(dim_e * band * band / P)
+    comm = P * np.log2(max(P, 2)) * (model.latency
+                                     + (dim_e / P) * band * 8
+                                     * model.inv_bandwidth)
+    return flops + comm
+
+
+@pytest.fixture(scope="module")
+def p_sweep():
+    dim_e = 1024 * 10          # paper scale: N=1024, ν=10
+    rows = []
+    for P in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512):
+        t_f = modelled_factorization(dim_e, P)
+        t_s = modelled_coarse_solve(dim_e, P)
+        rows.append((P, t_f, t_s))
+    txt = table(["P", "factorize E (s)", "solve E (s)"],
+                [[p, f"{tf:.4f}", f"{ts * 1e3:.3f} ms"]
+                 for p, tf, ts in rows],
+                title=f"ABLATION — number of masters "
+                      f"(modelled, dim(E) = {dim_e})")
+    # memory: replicated vs distributed
+    mem_rows = []
+    for N, nu in ((1024, 20), (8192, 20)):
+        d = N * nu
+        nnz_dense = d * d * 8 / 2**30
+        mem_rows.append([N, d, f"{nnz_dense:.1f} GiB",
+                         f"{nnz_dense / max(1, N // 128):.3f} GiB"])
+    txt2 = table(["N", "dim(E)", "replicated per rank",
+                  "distributed per master (P=N/128)"], mem_rows,
+                 title="replication vs distribution (the paper's 'simply "
+                       "not feasible for large decompositions')")
+    write_result("ablation_masters", txt + "\n\n" + txt2)
+    return rows
+
+
+def test_solve_time_has_crossover(p_sweep):
+    """More masters eventually hurt the solve (latency-bound)."""
+    ts = [t for _, _, t in p_sweep]
+    best = int(np.argmin(ts))
+    assert 0 < best < len(ts) - 1
+    assert ts[-1] > ts[best]
+
+
+def test_factorization_gains_then_saturate(p_sweep):
+    tf = [t for _, t, _ in p_sweep]
+    assert tf[3] < tf[0]             # P=8 beats P=1
+    # marginal gain from the last doubling is small or negative
+    assert tf[-1] > 0.5 * tf[-2]
+
+
+def test_bench_distributed_solve_p4(benchmark):
+    """Measured: distributed Cholesky solve with P=4 on simulated MPI."""
+    from repro.mpi import run_spmd
+    from repro.solvers import DistributedCholesky
+    rng = np.random.default_rng(0)
+    n = 96
+    M = rng.standard_normal((n, n))
+    E = M @ M.T + n * np.eye(n)
+    b = rng.standard_normal(n)
+    rs = np.linspace(0, n, 5).astype(np.int64)
+
+    def run():
+        def fn(comm):
+            p = comm.rank
+            f = DistributedCholesky(comm, rs, E[rs[p]:rs[p + 1]])
+            return f.solve(b[rs[p]:rs[p + 1]])
+        return run_spmd(4, fn)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

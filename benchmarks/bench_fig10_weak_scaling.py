@@ -1,0 +1,116 @@
+"""Figure 10: weak scaling on heterogeneous diffusion.
+
+Paper: constant dofs per subdomain (280 K in 3D-P2, 2.7 M in 2D-P4),
+N = 256 → 8192.  Efficiency stays ≈90 % (3D) / ≈96 % (2D) because the
+per-subdomain factorization and deflation costs are constant and the
+iteration count stays flat (13–20 in 3D, 25–29 in 2D).
+
+Here: each refinement multiplies the cell count by 4 (2D) / 8 (3D) and N
+grows by the same factor, keeping dofs/N constant.  Efficiency is
+computed with the paper's formula from measured local phases + modelled
+communication.
+"""
+
+import numpy as np
+import pytest
+
+from common import write_result
+from repro import SchwarzSolver
+from repro.common.asciiplot import table
+from repro.fem import channels_and_inclusions
+from repro.fem.forms import DiffusionForm
+from repro.mesh import refine_uniform, unit_cube, unit_square
+from repro.perfmodel import measure_row, weak_efficiency
+
+NEV = 8
+
+
+def run_weak(meshes_and_N, degree, label, seed=9):
+    rows = []
+    maxloc = []
+    for mesh, N in meshes_and_N:
+        kappa = channels_and_inclusions(mesh, seed=seed)
+        form = DiffusionForm(degree=degree, kappa=kappa)
+        # geometric partitioning: near-perfect balance, mirroring the
+        # paper's "almost no variability in the factorization" remark
+        solver = SchwarzSolver(mesh, form, num_subdomains=N, delta=1,
+                               nev=NEV, seed=0, partition_method="rcb")
+        rows.append(measure_row(solver, tol=1e-6, restart=60, maxiter=400))
+        maxloc.append(max(s.size for s in solver.decomposition.subdomains))
+    eff = weak_efficiency(rows)
+    # at laptop scale the δ=1 overlap shell is a large fraction of each
+    # subdomain (paper: 280k-dof subdomains, shell ≈ 3%; here ≈ 50-200%),
+    # so we also report efficiency normalised by the *actual* largest
+    # local problem each scale has to factorise
+    eff_norm = [
+        (rows[0].total * m) / (r.total * maxloc[0])
+        for r, m in zip(rows, maxloc)]
+    body = [[r.N, r.dofs, r.dofs // r.N, m, f"{r.factorization:.3f}",
+             f"{r.deflation:.3f}", f"{r.solution:.3f}", r.iterations,
+             f"{r.total:.3f}", f"{100 * e:.0f}%", f"{100 * en:.0f}%"]
+            for r, e, en, m in zip(rows, eff, eff_norm, maxloc)]
+    txt = table(["N", "#dof", "dof/N", "max n_i", "fact (s)", "defl (s)",
+                 "solve (s)", "#it", "total (s)", "efficiency",
+                 "shell-normalised"], body,
+                title=f"FIGURE 10 ({label})")
+    return rows, (eff, eff_norm), txt
+
+
+@pytest.fixture(scope="module")
+def weak_runs():
+    # the base N is chosen "interior-like" (subdomains with neighbours
+    # on all sides) so the overlap-shell fraction matches at every scale
+    # — the analogue of the paper starting its sweep at N = 256
+    m3 = unit_cube(6)
+    meshes_3d = [(m3, 27), (refine_uniform(m3, 1), 216)]
+    rows3, eff3, txt3 = run_weak(meshes_3d, 2, "3D diffusion, P2, "
+                                               "~27 nnz/row")
+    m2 = unit_square(16)
+    meshes_2d = [(m2, 16), (refine_uniform(m2, 1), 64),
+                 (refine_uniform(m2, 2), 256)]
+    rows2, eff2, txt2 = run_weak(meshes_2d, 4, "2D diffusion, P4, "
+                                               "~23 nnz/row")
+    write_result("fig10_weak_scaling",
+                 txt3 + "\n\n" + txt2 +
+                 "\n\npaper: eff ≈ 90% (3D), ≈ 96% (2D); "
+                 "#it 13-20 (3D), 25-29 (2D), flat across 32x more ranks")
+    return rows3, eff3, rows2, eff2
+
+
+def test_fig10_iterations_flat(weak_runs):
+    """Iteration counts must not grow with N (GenEO scalability)."""
+    rows3, _, rows2, _ = weak_runs
+    for rows in (rows3, rows2):
+        its = [r.iterations for r in rows]
+        assert max(its) <= 2 * min(its) + 6
+
+
+def test_fig10_local_phases_constant(weak_runs):
+    """Constant work per subdomain: max local factorization + deflation
+    stays within a factor ~2.5 across the sweep (paper: flat columns)."""
+    rows3, _, rows2, _ = weak_runs
+    for rows in (rows3, rows2):
+        loc = [r.factorization + r.deflation for r in rows]
+        assert max(loc) <= 2.5 * min(loc)
+
+
+def test_fig10_efficiency_reasonable(weak_runs):
+    """Paper reports ≈90-96 % at 280k-2.7M dof/subdomain.  At ~100-500
+    dof/subdomain the δ=1 overlap shell dominates the local problem, so
+    the raw floor is conservative; the shell-normalised efficiency (per
+    actual local dof factorised) must stay high."""
+    _, (eff3, norm3), _, (eff2, norm2) = weak_runs
+    assert eff2[-1] > 0.5          # 2D shells are thin even at this scale
+    assert eff3[-1] > 0.2
+    assert norm3[-1] > 0.4
+    assert norm2[-1] > 0.45
+
+
+def test_fig10_bench_local_solve_phase(weak_runs, benchmark):
+    """Kernel timed: one RAS application on the largest 2D weak run."""
+    mesh = refine_uniform(unit_square(12), 1)
+    kappa = channels_and_inclusions(mesh, seed=9)
+    solver = SchwarzSolver(mesh, DiffusionForm(degree=4, kappa=kappa),
+                           num_subdomains=8, delta=1, nev=NEV, seed=0)
+    b = solver.problem.rhs()
+    benchmark(solver.one_level.apply, b)

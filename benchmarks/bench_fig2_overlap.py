@@ -1,0 +1,83 @@
+"""Figure 2: construction of the overlapping decomposition.
+
+Paper: a mesh (the SC logo) decomposed into three subdomains; two
+consecutive extensions (δ = 2) grow each T_i⁰ by layers of adjacent
+elements.  The bench asserts the defining properties of the recursive
+construction on a three-subdomain decomposition and regenerates the
+layer picture in ASCII.
+"""
+
+import numpy as np
+import pytest
+
+from common import write_result
+from repro.dd import grow_overlap, vertex_layers
+from repro.mesh import rectangle
+from repro.partition import partition_mesh
+
+
+@pytest.fixture(scope="module")
+def decomposition():
+    mesh = rectangle(30, 10, x1=3.0)
+    part = partition_mesh(mesh, 3, seed=0)
+    return mesh, part
+
+
+def test_fig2_delta0_is_partition(decomposition):
+    mesh, part = decomposition
+    sizes = []
+    for i in range(3):
+        cells, layers = grow_overlap(mesh, part, i, 0)
+        assert np.array_equal(cells, np.flatnonzero(part == i))
+        assert layers.max(initial=0) == 0
+        sizes.append(cells.size)
+    assert sum(sizes) == mesh.num_cells      # non-overlapping cover
+
+
+def test_fig2_recursive_extension(decomposition):
+    """T_i^δ = T_i^{δ-1} + all adjacent elements (the paper's recursion):
+    growing twice equals growing once from the once-grown set."""
+    mesh, part = decomposition
+    for i in range(3):
+        c2, l2 = grow_overlap(mesh, part, i, 2)
+        # layer-m prefix equals an independent m-growth
+        for m in (0, 1):
+            cm, _ = grow_overlap(mesh, part, i, m)
+            assert np.array_equal(c2[l2 <= m], cm)
+        # every layer-2 cell shares a vertex with a layer<=1 cell
+        prev_verts = set(mesh.cells[c2[l2 <= 1]].ravel().tolist())
+        for c in c2[l2 == 2]:
+            assert set(mesh.cells[c].tolist()) & prev_verts
+
+
+def test_fig2_overlaps_cover_and_intersect(decomposition):
+    mesh, part = decomposition
+    grown = [grow_overlap(mesh, part, i, 2)[0] for i in range(3)]
+    covered = np.unique(np.concatenate(grown))
+    assert covered.size == mesh.num_cells or \
+        covered.size >= 0.99 * mesh.num_cells
+    # neighbouring subdomains share cells after extension
+    assert np.intersect1d(grown[0], grown[1]).size > 0 or \
+        np.intersect1d(grown[0], grown[2]).size > 0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_artifact(decomposition):
+    mesh, part = decomposition
+    lines = ["FIGURE 2 — decomposition into 3 subdomains, delta = 0 vs 2"]
+    for delta in (0, 2):
+        sizes = [grow_overlap(mesh, part, i, delta)[0].size
+                 for i in range(3)]
+        lines.append(f"delta={delta}: subdomain cell counts {sizes} "
+                     f"(sum {sum(sizes)}, mesh {mesh.num_cells})")
+    cells, layers = grow_overlap(mesh, part, 1, 2)
+    verts, vlayer = vertex_layers(mesh, cells, layers)
+    hist = np.bincount(vlayer)
+    lines.append(f"subdomain 1 node layers (chi = 1, 1/2, 0): "
+                 f"{hist.tolist()}")
+    write_result("fig2_overlap", "\n".join(lines))
+
+
+def test_fig2_bench_overlap_growth(decomposition, benchmark):
+    mesh, part = decomposition
+    benchmark(grow_overlap, mesh, part, 1, 2)

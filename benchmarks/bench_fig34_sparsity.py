@@ -1,0 +1,59 @@
+"""Figures 3–4: block sparsity of the deflation matrix Z and of E.
+
+Paper: 4 subdomains in a chain, O₁ = {2}, O₂ = {1,3}, O₃ = {2,4},
+O₄ = {3} (1-indexed); Z is block-column sparse with overlapping rows;
+blue diagonal blocks of E need no communication, red off-diagonal blocks
+need one peer-to-peer transfer each.
+"""
+
+import numpy as np
+import pytest
+
+from common import write_result
+from repro.common.asciiplot import sparsity
+from repro.core import CoarseOperator, DeflationSpace, coarse_blocks, compute_deflation
+from repro.dd import Decomposition, Problem
+from repro.fem.forms import DiffusionForm
+from repro.mesh import interval_chain
+
+
+@pytest.fixture(scope="module")
+def chain_setup():
+    mesh = interval_chain(24, width=2)
+    part = np.minimum((mesh.cell_centroids()[:, 0] / 6).astype(int), 3)
+    prob = Problem(mesh, DiffusionForm(degree=1))
+    dec = Decomposition(prob, part, delta=1)
+    Ws = [compute_deflation(s, nev=2).W for s in dec.subdomains]
+    space = DeflationSpace(dec, Ws)
+
+    figz = sparsity(space.explicit_z(), width=28)
+    fige = sparsity(CoarseOperator(space).E, width=28)
+    o_sets = {s.index + 1: [j + 1 for j in s.neighbors]
+              for s in dec.subdomains}
+    write_result(
+        "fig34_sparsity",
+        f"FIGURES 3-4 — 4-subdomain chain, neighbour sets {o_sets}\n"
+        f"(paper: O1={{2}}, O2={{1,3}}, O3={{2,4}}, O4={{3}})\n\n"
+        f"Z (n x {space.m}):\n{figz}\n\nE ({space.m} x {space.m}):\n{fige}")
+    return dec, space
+
+
+def test_fig3_chain_neighbour_sets(chain_setup):
+    dec, _ = chain_setup
+    expected = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+    assert {s.index: s.neighbors for s in dec.subdomains} == expected
+
+
+def test_fig4_block_pattern_tridiagonal(chain_setup):
+    """E's block pattern mirrors the chain connectivity (fig. 4)."""
+    _, space = chain_setup
+    blocks = coarse_blocks(space)
+    assert set(blocks) == {(0, 0), (1, 1), (2, 2), (3, 3),
+                           (0, 1), (1, 0), (1, 2), (2, 1),
+                           (2, 3), (3, 2)}
+
+
+def test_fig34_bench_coarse_assembly(chain_setup, benchmark):
+    """Kernel timed: block assembly of E (steps 1-3 of §3.1)."""
+    _, space = chain_setup
+    benchmark(coarse_blocks, space)

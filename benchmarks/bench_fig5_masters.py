@@ -1,0 +1,64 @@
+"""Figure 5: electing the masters — uniform vs non-uniform distribution.
+
+Paper: N = 16, P = 4.  Uniform election puts masters at ranks 0,4,8,12;
+the non-uniform sequence p_i = ⌊N − √((p_{i−1}−N)² − N²/P) + 0.5⌋ puts
+them at 0,2,5,8 so that each master's share of the *upper triangle* of E
+(symmetric coarse operator) is roughly equal.
+"""
+
+import numpy as np
+import pytest
+
+from common import write_result
+from repro.common.asciiplot import table
+from repro.core import elect_masters_nonuniform, elect_masters_uniform, split_ranges
+
+
+def triangle_counts(masters: np.ndarray, N: int) -> list[int]:
+    """Upper-triangle rows owned per master (unit ν for clarity)."""
+    bounds = np.concatenate([masters, [N]])
+    return [int(sum(N - r for r in range(bounds[p], bounds[p + 1])))
+            for p in range(len(masters))]
+
+
+@pytest.fixture(scope="module")
+def election_report():
+    rows = []
+    for N, P in ((16, 4), (64, 4), (256, 8), (1024, 16)):
+        mu = elect_masters_uniform(N, P)
+        mn = elect_masters_nonuniform(N, P)
+        cu, cn = triangle_counts(mu, N), triangle_counts(mn, N)
+        rows.append([f"{N}/{P}", str(mu.tolist() if N <= 64 else "..."),
+                     f"{max(cu) / min(cu):.2f}",
+                     str(mn.tolist() if N <= 64 else "..."),
+                     f"{max(cn) / min(cn):.2f}"])
+    txt = table(["N/P", "uniform masters", "imbal.",
+                 "non-uniform masters", "imbal."], rows,
+                title="FIGURE 5 — master election; imbalance = "
+                      "max/min of per-master upper-triangle value counts")
+    write_result("fig5_masters", txt)
+    return rows
+
+
+def test_fig5_paper_example(election_report):
+    """The exact N=16, P=4 values drawn in the paper's figure 5."""
+    assert elect_masters_uniform(16, 4).tolist() == [0, 4, 8, 12]
+    assert elect_masters_nonuniform(16, 4).tolist() == [0, 2, 5, 8]
+
+
+def test_fig5_nonuniform_balances_triangle(election_report):
+    for N, P in ((64, 4), (256, 8), (1024, 16)):
+        cu = triangle_counts(elect_masters_uniform(N, P), N)
+        cn = triangle_counts(elect_masters_nonuniform(N, P), N)
+        assert max(cn) / min(cn) < max(cu) / min(cu)
+        assert max(cn) / min(cn) < 2.0
+
+
+def test_fig5_split_ranges_partition_world(election_report):
+    for N, P in ((16, 4), (100, 7)):
+        ranges = split_ranges(elect_masters_nonuniform(N, P), N)
+        assert np.array_equal(np.concatenate(ranges), np.arange(N))
+
+
+def test_fig5_bench_election(benchmark):
+    benchmark(elect_masters_nonuniform, 8192, 64)

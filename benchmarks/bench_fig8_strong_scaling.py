@@ -1,0 +1,114 @@
+"""Figure 8: strong scaling on heterogeneous elasticity.
+
+Paper: fixed global systems (2.14·10⁹ dof 2D-P3, 294·10⁶ dof 3D-P2),
+N = 1024 → 8192; columns factorization / deflation / solution / #it /
+total.  Superlinear 3D speedup (≈10× on 8× the processes) because local
+factorization + eigensolve cost grows superlinearly with the local size.
+
+Here: fixed laptop-sized meshes, N = 4 → 32.  The *measured* columns are
+the max per-subdomain local costs (the SPMD wall-clock); the solution
+column adds modelled communication.  The fitted local-cost exponents are
+then used to extrapolate a paper-scale table (N = 1024 → 8192).
+"""
+
+import numpy as np
+import pytest
+
+from common import elasticity_2d, elasticity_3d, write_result
+from repro import SchwarzSolver
+from repro.common.asciiplot import table
+from repro.perfmodel import StrongScalingModel, measure_row, speedup
+
+NS = (2, 4, 8, 16)
+NEV = 12
+
+
+def run_case(builder, label, degree_info, **kw):
+    mesh, form, clamp = builder(**kw)
+    rows = []
+    for N in NS:
+        solver = SchwarzSolver(mesh, form, num_subdomains=N, delta=1,
+                               nev=NEV, dirichlet=clamp, seed=0)
+        rows.append(measure_row(solver, tol=1e-6, restart=40, maxiter=400))
+    model = StrongScalingModel.fit(rows, nu=NEV)
+    paper_rows = [model.predict(N) for N in (1024, 2048, 4096, 8192)]
+    sp = speedup(rows)
+
+    body = [[r.N, f"{r.factorization:.3f}", f"{r.deflation:.3f}",
+             f"{r.solution:.3f}", r.iterations, f"{r.total:.3f}",
+             f"{s:.2f}"] for r, s in zip(rows, sp)]
+    txt = table(["N", "fact (s)", "defl (s)", "solve (s)", "#it",
+                 "total (s)", "speedup"],
+                body, title=f"FIGURE 8 ({label}, {degree_info}, "
+                            f"{rows[0].dofs} dof) — measured")
+    ptxt = table(
+        ["N", "fact (s)", "defl (s)", "solve (s)", "#it", "total (s)"],
+        [[r.N, f"{r.factorization:.4f}", f"{r.deflation:.4f}",
+          f"{r.solution:.4f}", r.iterations, f"{r.total:.4f}"]
+         for r in paper_rows],
+        title=f"extrapolated to the paper's N (fitted local-cost "
+              f"exponents: fact n^{model.factorization.b:.2f}, "
+              f"defl n^{model.deflation.b:.2f})")
+    return rows, model, txt + "\n\n" + ptxt
+
+
+@pytest.fixture(scope="module")
+def strong_runs():
+    rows3, model3, txt3 = run_case(elasticity_3d, "3D elasticity",
+                                   "P2, ~83 nnz/row", n=8)
+    rows2, model2, txt2 = run_case(elasticity_2d, "2D elasticity",
+                                   "P3, ~33 nnz/row", n=12)
+    write_result("fig8_strong_scaling", txt3 + "\n\n" + txt2)
+    return rows3, model3, rows2, model2
+
+
+def test_fig8_iterations_scalable(strong_runs):
+    """The GenEO claim: #it independent of N (paper: 20-28 across 8×)."""
+    rows3, _, rows2, _ = strong_runs
+    for rows in (rows3, rows2):
+        its = [r.iterations for r in rows]
+        assert max(its) <= 2.5 * min(its) + 5
+
+
+def test_fig8_local_phases_shrink(strong_runs):
+    """Strong scaling: the dominant local phases (factorization +
+    deflation) shrink as subdomains get smaller."""
+    rows3, _, rows2, _ = strong_runs
+    for rows in (rows3, rows2):
+        first = rows[0].factorization + rows[0].deflation
+        last = rows[-1].factorization + rows[-1].deflation
+        assert last < first / 2
+
+
+def test_fig8_3d_superlinear_local_costs(strong_runs):
+    """The paper's superlinear-speedup mechanism: 3D local factorization
+    cost grows superlinearly with the local problem size.
+
+    The timing fit wobbles on a shared single core (~0.85-1.1 across
+    runs; keep a loose floor), so the mechanism itself is asserted
+    deterministically through factor *fill*: nnz(LU)/dof of the largest
+    local matrix strictly decreases as subdomains shrink — smaller local
+    problems do superlinearly less factorization work."""
+    _, model3, _, _ = strong_runs
+    assert model3.factorization.b > 0.7
+
+    from repro.solvers import factorize
+    mesh, form, clamp = elasticity_3d(n=8)
+    fills = []
+    for N in (2, 16):
+        solver = SchwarzSolver(mesh, form, num_subdomains=N, delta=1,
+                               nev=2, dirichlet=clamp, seed=0)
+        big = max(solver.decomposition.subdomains, key=lambda s: s.size)
+        fact = factorize(big.A_dir, "superlu")
+        fills.append(fact.nnz_factor / big.size)
+    assert fills[1] < fills[0]          # fill/dof drops with local size
+
+
+def test_fig8_bench_local_factorization(strong_runs, benchmark):
+    """Kernel timed: one local Dirichlet-matrix factorization."""
+    from repro.solvers import factorize
+    mesh, form, clamp = elasticity_3d(n=6)
+    solver = SchwarzSolver(mesh, form, num_subdomains=8, delta=1, nev=2,
+                           dirichlet=clamp, seed=0)
+    A = solver.decomposition.subdomains[0].A_dir
+    benchmark(factorize, A, "superlu")

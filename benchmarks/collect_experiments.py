@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from the benchmark result files.
+
+Run after ``pytest benchmarks/``:
+
+    python benchmarks/collect_experiments.py
+
+Each section pairs the paper's reported numbers with the regenerated
+table/figure in ``benchmarks/results/`` and states what was checked.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+HERE = Path(__file__).parent
+RESULTS = HERE / "results"
+OUT = HERE.parent / "EXPERIMENTS.md"
+
+#: (title, result file, paper-said, we-check commentary)
+SECTIONS = [
+    ("Figure 1 — convergence, basic vs advanced preconditioning",
+     "fig1_convergence",
+     "GMRES on 16 subdomains of a highly heterogeneous problem, relative "
+     "residual target 1e-8.  The basic (one-level) method is oblivious to "
+     "the heterogeneities and has not converged within ~120 iterations; "
+     "the advanced (GenEO A-DEF1) method reaches 1e-8 in a few tens of "
+     "iterations.",
+     "Same N=16, same contrast family (kappa in [1, 3e6]).  The advanced "
+     "method converges in ~14 iterations; the basic method needs several "
+     "times more (asserted: >= 2x).  Shape reproduced: the gap between "
+     "the two curves is the paper's figure."),
+    ("Figure 2 — construction of the overlapping decomposition",
+     "fig2_overlap",
+     "A mesh decomposed into three subdomains; two consecutive "
+     "extensions (delta = 2) grow each T_i^0 by layers of adjacent "
+     "elements.",
+     "Asserted: delta = 0 reproduces the non-overlapping partition "
+     "exactly; the recursion property T_i^m = grow(T_i^{m-1}) holds "
+     "layer by layer; extended subdomains overlap.  The regenerated "
+     "artefact lists cell counts per delta and the node-layer histogram "
+     "that drives the partition of unity (chi = 1, 1/2, 0)."),
+    ("Figures 3-4 — sparsity of Z and of E",
+     "fig34_sparsity",
+     "With 4 chained subdomains, O1={2}, O2={1,3}, O3={2,4}, O4={3}; Z is "
+     "block-column sparse with overlapping rows; E has one diagonal "
+     "(communication-free) block per subdomain plus one off-diagonal "
+     "block per neighbour pair.",
+     "Asserted exactly: the decomposition reports those neighbour sets "
+     "and coarse_blocks() produces exactly the block-tridiagonal pattern. "
+     "ASCII spy plots regenerated."),
+    ("Figure 5 — electing the masters",
+     "fig5_masters",
+     "N=16, P=4: uniform election puts masters at ranks 0,4,8,12; the "
+     "non-uniform sequence p_i = floor(N - sqrt((p_{i-1}-N)^2 - N^2/P) + "
+     "0.5) puts them at 0,2,5,8 and balances each master's share of the "
+     "upper triangle of a symmetric E.",
+     "Asserted exactly: elect_masters_uniform(16,4) == [0,4,8,12], "
+     "elect_masters_nonuniform(16,4) == [0,2,5,8] (the figure's values), "
+     "and for N up to 1024 the non-uniform upper-triangle imbalance is "
+     "strictly smaller than uniform and < 2.0."),
+    ("Figure 7 — GMRES(40) on heterogeneous 2D elasticity",
+     "fig7_elasticity_convergence",
+     "1024 subdomains, E contrast 2e4 (2e11/0.25 vs 1e7/0.45), tol 1e-6: "
+     "A-DEF1 converges in 28 iterations; RAS has not converged after "
+     "400+ iterations (600 s).",
+     "Same coefficients, P3 elements, 16 subdomains: A-DEF1 converges in "
+     "~27 iterations — essentially the paper's number — while RAS stalls "
+     "around 1e-1 after 400 iterations.  The key claim (GenEO makes the "
+     "iteration count independent of the contrast, RAS unusable) holds "
+     "verbatim."),
+    ("Figure 8 — strong scaling (heterogeneous elasticity)",
+     "fig8_strong_scaling",
+     "Fixed global systems; N = 1024 -> 8192.  3D-P2: total time 530.6 s "
+     "-> 51.8 s, speedup ~10x on 8x the processes (superlinear, driven "
+     "by the superlinear local factorization/eigensolve cost); 2D-P3: "
+     "213.2 s -> 34.5 s, ~6x.  Iterations stay in 20-28.",
+     "Fixed meshes, N = 2 -> 16 (same 8x span).  Measured max-per-"
+     "subdomain phases + modelled communication: 3D speedup ~10x on 8x "
+     "(superlinear; fitted local-cost exponents ~1.1-1.2, and the "
+     "mechanism asserted deterministically via factor fill/dof), 2D ~5-6x "
+     "(smaller, as in the paper).  Iterations flat (asserted).  The "
+     "fitted power laws extrapolate a paper-scale table; at N >= 1024 "
+     "the (modelled) communication dominates, as the paper observes at "
+     "8192."),
+    ("Figure 10 — weak scaling (heterogeneous diffusion)",
+     "fig10_weak_scaling",
+     "Constant dofs/subdomain (280K 3D-P2 / 2.7M 2D-P4), N = 256 -> "
+     "8192: efficiency ~90% (3D) and ~96% (2D); iterations 13-20 (3D), "
+     "25-29 (2D), flat across 32x more ranks.",
+     "Constant cells/subdomain across refinements (base N chosen "
+     "interior-like, the analogue of starting at N=256).  Iterations "
+     "flat (asserted).  2D efficiency ~97-99% across 16x more ranks "
+     "(paper: ~96%).  3D raw efficiency is shell-dominated at ~100-500 "
+     "dof/subdomain (the delta=1 overlap shell is 50-200% of a tiny "
+     "subdomain vs ~3% of the paper's 280K); normalising by the actual "
+     "largest local problem gives ~90% (paper: ~90%).  The scalability "
+     "mechanism (flat iterations, constant local work) is reproduced; "
+     "the raw-3D gap is a documented artefact of miniature subdomains."),
+    ("Figure 11 — assembling/factorising the coarse operator",
+     "fig11_coarse_operator",
+     "dim(E) = nu*N; average |O_i| ~ 12-15 in 3D vs ~5.5-5.9 in 2D "
+     "(denser coarse operator in 3D); nnz(E^-1) grows superlinearly with "
+     "N; assembly+factorization time grows with N and |O_i|.",
+     "Algorithms 1-2 executed over the simulated MPI with metered "
+     "traffic.  Asserted: dim(E) = nu*N exactly; 3D |O_i| > 2D |O_i|; "
+     "nnz of a sparse LDL^T of E grows with N.  Times are modelled "
+     "(alpha-beta + flop model)."),
+    ("Section 3.3 — cost analysis",
+     "sec33_cost_analysis",
+     "Setup: each process exchanges one message of size nu x (overlap "
+     "size) per neighbour, then each slave sends ONE message of "
+     "|O_i| + nu^2 + nu*sum_j nu_j doubles to its master (no indices). "
+     "Fixed-count collectives scale as O(log N), variable-count as O(N).",
+     "Asserted EXACTLY against the meter: per-slave byte counts equal "
+     "the closed-form formula to the byte; slaves send |O_i|+1 messages "
+     "total; the paper's values-only protocol ships less than half the "
+     "slave->master bytes of the natural (index-carrying) protocol; the "
+     "modelled collective costs show the O(log N) vs O(N) split."),
+    ("Section 3.5 — communication-avoiding multilevel preconditioning",
+     "sec35_pipelined",
+     "The fused p1-GMRES performs a two-level iteration with no "
+     "additional global communication or synchronisation: the reduction "
+     "contributions ride the coarse-correction Gather/Scatter and a "
+     "single Iallreduce between the masters overlaps the coarse solve.  "
+     "Convergence matches classical GMRES ('both pipelined GMRES are "
+     "performing approximately the same').",
+     "Executed at message level on the simulated MPI: classical GMRES "
+     "needs >= 2 blocking global syncs per iteration; the fused variant "
+     "needs a constant handful for the whole solve (asserted <= 10) plus "
+     "one overlapped Iallreduce per iteration, at the same iteration "
+     "count (+-4 asserted)."),
+    ("Ablation — preconditioner variants (paper section 2.1)",
+     "ablation_preconditioners",
+     "A-DEF1 is chosen over A-DEF2 because it needs one coarse solve per "
+     "application instead of two, at similar numerical properties.",
+     "Measured: A-DEF1 ~1 coarse solve/iteration, A-DEF2 ~2 (asserted), "
+     "same iteration count within +-4; BNN+CG also converges; both "
+     "two-level variants beat one-level."),
+    ("Ablation — coarse-space construction",
+     "ablation_coarse_space",
+     "GenEO eq. (9) with a per-subdomain nu; the paper's conclusion "
+     "proposes a-posteriori Ritz vectors as future work.",
+     "nu sweep: iterations fall as nu grows, dim(E) = nu*N; GenEO "
+     "outperforms Nicolaides constants on high contrast; the a-"
+     "posteriori Ritz space (paper's outlook, implemented) also "
+     "accelerates the one-level method; overlap sweep: wider overlap "
+     "does not degrade."),
+    ("Ablation — assembly protocol (section 3.1.1)",
+     "ablation_assembly_protocol",
+     "The natural Gatherv-based assembly ships global row/column indices "
+     "from slaves; the paper's protocol ships values only.",
+     "Both protocols implemented over the simulated MPI; the natural one "
+     "verified to produce the same E, and metered to ship > 2x the "
+     "slave->master bytes."),
+    ("Ablation — backend swap (the MUMPS/PARDISO/ARPACK roles)",
+     "ablation_backends",
+     "The paper swaps direct solvers freely (MUMPS, PaStiX, both "
+     "PARDISOs, WSMP) behind one factorize-then-solve interface, and "
+     "computes deflation vectors with ARPACK.",
+     "Four local backends (SuperLU, band Cholesky with our RCM, the "
+     "from-scratch up-looking LDL^T, dense LAPACK) produce identical "
+     "solutions on real subdomain matrices (asserted); Lanczos and "
+     "scipy's eigsh agree on the GenEO pencil to 1e-6."),
+    ("Ablation — GenEO reuse across nonlinear Picard steps (conclusion)",
+     "ablation_nonlinear",
+     "The conclusion targets nonlinear solid mechanics as the framework's "
+     "next application.",
+     "Quasilinear diffusion by Picard iteration: rebuilding the GenEO "
+     "space every step vs reusing the first step's vectors vs freezing "
+     "the whole preconditioner.  All converge to the same fixed point "
+     "(asserted); reuse pays the eigensolves once (~15x less GenEO time) "
+     "at a few extra linear iterations."),
+    ("Ablation — non-overlapping methods (section 3.1)",
+     "ablation_nonoverlapping",
+     "The framework also serves substructuring, where E's block pattern "
+     "is denser (distance-2 connectivity).",
+     "A Schur-complement solver with balanced Neumann-Neumann "
+     "(stiffness-scaled counting functions) and coarse levels built "
+     "through the same AbstractDeflation machinery; E's measured block "
+     "density exceeds the overlapping method's, and the balanced "
+     "constants coarse space helps (asserted).  A-DEF1 composition, "
+     "tailored to RAS, demonstrably mismatches Neumann-Neumann — the "
+     "balanced form is required (documented in the module)."),
+    ("Ablation — number of masters (section 3.4)",
+     "ablation_masters",
+     "Increasing P does not always help: distributed solvers have "
+     "difficulties scaling beyond ~128 processes; replicating E on all "
+     "ranks is not feasible for large decompositions.",
+     "Modelled solve time has an interior optimum in P and rises "
+     "afterwards (latency-bound panel broadcasts); the memory table "
+     "shows replication at N=8192 needs ~200 GiB per rank vs ~3 GiB per "
+     "master when distributed."),
+]
+
+HEADER = """\
+# EXPERIMENTS — paper vs. this reproduction
+
+Every table and figure of the paper's evaluation (§3.4–3.5) is
+regenerated by a benchmark under `benchmarks/`; each writes its artefact
+to `benchmarks/results/<name>.txt` and *asserts* the qualitative claim it
+reproduces.  Regenerate everything with
+
+```bash
+pytest benchmarks/                      # asserts + artefacts
+pytest benchmarks/ --benchmark-only     # kernel timings only
+python benchmarks/collect_experiments.py   # rebuild this file
+```
+
+**Scale disclaimer.**  The paper ran on Curie (up to 16 384 threads,
+2–22·10⁹ unknowns); this reproduction runs every algorithm — including
+the master–slave coarse assembly and the fused pipelined GMRES — on a
+single core over a simulated MPI with metered traffic, at 10³–10⁵
+unknowns and N ≤ 256 subdomains.  Absolute seconds are therefore not
+comparable; the reproduction targets are *shapes*: iteration counts and
+their independence of N and of the coefficient contrast, speedup and
+efficiency trends, message-count formulas, synchronisation counts, and
+crossovers.  Where a laptop-scale artefact distorts a shape (the 3D
+overlap-shell effect in fig. 10), it is called out explicitly.
+
+Figures 6 and 9 of the paper are workload definitions rather than
+results — the tripod/cantilever geometries with two-phase elastic moduli
+and the channels-and-inclusions diffusivity.  They are implemented as
+`repro.mesh.tripod_3d` / `cantilever_2d` and
+`repro.fem.layered_elasticity` / `channels_and_inclusions`, exercised by
+every bench below and visualisable via the VTK export
+(`examples/tripod_elasticity_3d.py`).
+"""
+
+
+def main() -> None:
+    parts = [HEADER]
+    for title, result, paper, ours in SECTIONS:
+        parts.append(f"\n---\n\n## {title}\n")
+        parts.append(f"**Paper.**  {paper}\n")
+        parts.append(f"**This reproduction.**  {ours}\n")
+        path = RESULTS / f"{result}.txt"
+        if path.exists():
+            body = path.read_text().rstrip()
+            parts.append(f"**Regenerated artefact** "
+                         f"(`benchmarks/results/{result}.txt`):\n")
+            parts.append("```text\n" + body + "\n```\n")
+        else:
+            parts.append(f"*(artefact `{result}.txt` not generated yet — "
+                         f"run `pytest benchmarks/`)*\n")
+    OUT.write_text("\n".join(parts))
+    print(f"wrote {OUT} ({OUT.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Shared workload builders + result recording for the benchmark suite.
+
+Every paper experiment writes its regenerated table/figure to
+``benchmarks/results/<experiment>.txt`` so that EXPERIMENTS.md can point
+at concrete artefacts; pytest-benchmark additionally times one
+representative kernel per experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.fem import channels_and_inclusions, layered_elasticity
+from repro.fem.forms import DiffusionForm, ElasticityForm
+from repro.mesh import cantilever_2d, refine_uniform, unit_cube, unit_square
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS.mkdir(exist_ok=True)
+    path = RESULTS / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+# ----------------------------------------------------------------------
+# The paper's two workloads, laptop-sized
+# ----------------------------------------------------------------------
+
+def diffusion_2d(n: int = 48, degree: int = 4, seed: int = 42):
+    """Fig. 9 workload: heterogeneous diffusivity, P4 in 2D (paper:
+    ~23 nnz/row)."""
+    mesh = unit_square(n)
+    kappa = channels_and_inclusions(mesh, seed=seed)
+    return mesh, DiffusionForm(degree=degree, kappa=kappa), None
+
+
+def diffusion_3d(n: int = 5, degree: int = 2, seed: int = 9,
+                 refine: int = 0):
+    """Fig. 9 workload in 3D: P2 (~27 nnz/row)."""
+    mesh = unit_cube(n)
+    if refine:
+        mesh = refine_uniform(mesh, refine)
+    kappa = channels_and_inclusions(mesh, seed=seed)
+    return mesh, DiffusionForm(degree=degree, kappa=kappa), None
+
+
+def elasticity_2d(n: int = 8, degree: int = 3, length: float = 8.0):
+    """Fig. 6 bottom: heterogeneous cantilever, P3 in 2D (~33 nnz/row)."""
+    mesh = cantilever_2d(n, length=length, height=1.0)
+    lam, mu = layered_elasticity(mesh, n_layers=8)
+    form = ElasticityForm(degree=degree, lam=lam, mu=mu,
+                          f=np.array([0.0, -9.81]))
+    return mesh, form, (lambda x: x[:, 0] < 1e-9)
+
+
+def elasticity_3d(n: int = 4, degree: int = 2):
+    """Fig. 6 top stand-in: heterogeneous 3D solid, P2 (~83 nnz/row).
+
+    A layered box replaces the tripod for the scaling runs (same
+    operator, same contrast; the tripod generator is exercised in the
+    examples) — carving makes tiny meshes too irregular to partition
+    evenly at these scales.
+    """
+    mesh = unit_cube(n)
+    lam, mu = layered_elasticity(mesh, n_layers=4, axis=2)
+    form = ElasticityForm(degree=degree, lam=lam, mu=mu,
+                          f=np.array([0.0, 0.0, -9.81]))
+    return mesh, form, (lambda x: x[:, 2] < 1e-9)

@@ -1,0 +1,7 @@
+"""Benchmark suite configuration: make the shared helpers importable and
+collect ``bench_*.py`` files."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Abstract deflation beyond domain decomposition (§3 + conclusion).
+
+Two demonstrations that the coarse-operator framework is agnostic to
+where the deflation vectors come from:
+
+1. **Generic operator** (the cosmology use-case the paper cites): an
+   ill-conditioned SPD system with a handful of tiny eigenvalues is
+   cured by deflating approximations of those eigenvectors — no mesh, no
+   subdomains.
+2. **A posteriori Ritz harvest** (the paper's conclusion): instead of
+   solving local GenEO eigenproblems up front, run a few one-level
+   Arnoldi steps, extract harmonic Ritz vectors of the slow modes, and
+   build the coarse space from them.
+
+Run:  python examples/abstract_deflation.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.common.asciiplot import table
+from repro.core import (
+    AbstractDeflation,
+    CoarseOperator,
+    OneLevelRAS,
+    TwoLevelADEF1,
+    ritz_deflation,
+)
+from repro.dd import Decomposition, Problem
+from repro.fem import channels_and_inclusions
+from repro.fem.forms import DiffusionForm
+from repro.krylov import cg, deflated_cg, gmres
+from repro.mesh import unit_square
+from repro.partition import partition_mesh
+
+
+def generic_operator_demo():
+    rng = np.random.default_rng(7)
+    n = 400
+    Q = np.linalg.qr(rng.standard_normal((n, n)))[0]
+    eigs = np.concatenate([[1e-6, 1e-5, 1e-4, 1e-3],
+                           np.linspace(0.5, 2.0, n - 4)])
+    A = sp.csr_matrix(Q @ np.diag(eigs) @ Q.T)
+    b = rng.standard_normal(n)
+    # noisy approximations of the 4 bad eigenvectors
+    Z = Q[:, :4] + 0.01 * rng.standard_normal((n, 4))
+
+    plain = cg(A, b, tol=1e-10, maxiter=2000)
+    defl = deflated_cg(A, b, Z, tol=1e-10, maxiter=2000)
+    adef = gmres(A, b, M=AbstractDeflation(A, Z).apply, tol=1e-10,
+                 restart=60, maxiter=2000)
+    print(table(["method", "#it", "converged"],
+                [["plain CG", plain.iterations, plain.converged],
+                 ["deflated CG (Nicolaides/Frank-Vuik)", defl.iterations,
+                  defl.converged],
+                 ["GMRES + abstract A-DEF1", adef.iterations,
+                  adef.converged]],
+                title=f"Generic SPD operator, κ(A) = {2.0 / 1e-6:.0e}"))
+
+
+def ritz_harvest_demo():
+    mesh = unit_square(32)
+    form = DiffusionForm(degree=2,
+                         kappa=channels_and_inclusions(mesh, seed=2))
+    prob = Problem(mesh, form, scaling="jacobi")
+    part = partition_mesh(mesh, 8, seed=0)
+    dec = Decomposition(prob, part, delta=2)
+    ras = OneLevelRAS(dec)
+    A, b = prob.matrix(), prob.rhs()
+
+    one = gmres(A, b, M=ras.apply, tol=1e-8, restart=60, maxiter=300)
+    space = ritz_deflation(dec, ras, b, n_vectors=12)
+    two = gmres(A, b, M=TwoLevelADEF1(ras, CoarseOperator(space)).apply,
+                tol=1e-8, restart=60, maxiter=300)
+    print()
+    print(table(["method", "coarse dim", "#it"],
+                [["one-level RAS", 0, one.iterations],
+                 ["A-DEF1 with a-posteriori Ritz vectors", space.m,
+                  two.iterations]],
+                title="Ritz-harvested coarse space "
+                      "(no local eigenproblems solved)"))
+
+
+if __name__ == "__main__":
+    generic_operator_demo()
+    ritz_harvest_demo()

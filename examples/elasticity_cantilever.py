@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Heterogeneous linear elasticity on a cantilever beam (paper fig. 6/7).
+
+A long beam of alternating hard (steel-like, E = 2·10¹¹, ν = 0.25) and
+soft (rubber-like, E = 10⁷, ν = 0.45) layers is clamped on its left face
+and loaded vertically on its top face.  The coefficient jump of 2·10⁴
+makes one-level Schwarz stall (the paper's fig. 7: GMRES(40) with RAS is
+"not converged after 600 seconds"); GenEO deflation restores mesh- and
+contrast-independent convergence.
+
+Run:  python examples/elasticity_cantilever.py
+"""
+
+import numpy as np
+
+from repro import SchwarzSolver
+from repro.common.asciiplot import semilogy
+from repro.fem import assemble_boundary_load, layered_elasticity
+from repro.fem.forms import ElasticityForm
+from repro.mesh import cantilever_2d
+
+
+def main():
+    mesh = cantilever_2d(8, length=8.0, height=1.0)
+    lam, mu = layered_elasticity(mesh, n_layers=8)
+    form = ElasticityForm(degree=2, lam=lam, mu=mu,
+                          f=np.array([0.0, -9.81]))
+    clamp = lambda x: x[:, 0] < 1e-9             # noqa: E731
+
+    solver = SchwarzSolver(mesh, form, num_subdomains=16, delta=1, nev=12,
+                           dirichlet=clamp)
+    print(f"mesh: {mesh.num_cells} triangles, "
+          f"{solver.problem.space.num_dofs} dofs, "
+          f"N = 16 subdomains, ν = 12 GenEO vectors each")
+
+    # add the paper's surface traction: vertical load on the top face
+    g = assemble_boundary_load(solver.problem.space,
+                               np.array([0.0, -1e4]),
+                               where=lambda x: x[:, 1] > 1.0 - 1e-9)
+    b = solver.problem.rhs()
+    scale = solver.problem.scale
+    g_reduced = g[solver.problem.free]
+    b = b + (g_reduced if scale is None else scale * g_reduced)
+
+    report = solver.solve(b, tol=1e-6, restart=40, maxiter=400)
+    print(f"two-level A-DEF1, GMRES(40): {report.iterations} iterations, "
+          f"converged={report.converged}")
+
+    basic = SchwarzSolver(mesh, form, num_subdomains=16, delta=1, levels=1,
+                          dirichlet=clamp)
+    report1 = basic.solve(b, tol=1e-6, restart=40, maxiter=400)
+    print(f"one-level RAS,    GMRES(40): {report1.iterations} iterations, "
+          f"converged={report1.converged} "
+          f"(stalls at {report1.krylov.final_residual:.1e})")
+
+    print("\n" + semilogy({
+        "P_RAS (one-level)": report1.residuals,
+        "P_A-DEF1 (GenEO)": report.residuals,
+    }))
+
+    # tip deflection: mean vertical displacement on the right face
+    coords = solver.problem.space.scalar_dof_coordinates
+    tip = np.flatnonzero(coords[:, 0] > 8.0 - 1e-9)
+    uy = report.x[tip * 2 + 1]
+    print(f"\nmean tip deflection u_y = {uy.mean():.4e} m")
+
+    # count rigid-body modes captured per floating subdomain
+    zeros = [int((np.abs(g.eigenvalues) < 1e-8).sum())
+             for g in solver.geneo_results]
+    print(f"zero GenEO eigenvalues per subdomain (3 ⇔ floating): {zeros}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Non-overlapping substructuring (the paper's §3.1 extension).
+
+The same coarse-operator machinery applied to a Schur-complement method:
+interiors are eliminated subdomain-by-subdomain with the local direct
+solvers, the interface problem is solved with a Neumann–Neumann
+preconditioner (stiffness-scaled counting functions), and a coarse level
+is deflated through the abstract-deflation framework — with the denser
+distance-2 block pattern the paper describes for non-overlapping methods.
+
+Run:  python examples/substructuring.py
+"""
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.common.asciiplot import table
+from repro.dd import Decomposition, Problem
+from repro.fem import channels_and_inclusions
+from repro.fem.forms import DiffusionForm
+from repro.mesh import unit_square
+from repro.partition import partition_mesh
+from repro.substructuring import SchurComplementSolver
+
+
+def main():
+    mesh = unit_square(24)
+    kappa = channels_and_inclusions(mesh, seed=2)
+    prob = Problem(mesh, DiffusionForm(degree=2, kappa=kappa))
+    part = partition_mesh(mesh, 8, seed=1)
+    xref = prob.extend(spla.spsolve(prob.matrix().tocsc(), prob.rhs()))
+
+    rows = []
+    for coarse, kw in (("none", {}), ("constants", {}),
+                       ("geneo", {"nev": 4})):
+        s = SchurComplementSolver(prob, part, coarse=coarse, **kw)
+        x, its = s.solve(tol=1e-8)
+        err = np.linalg.norm(x - xref) / np.linalg.norm(xref)
+        dim = s.deflation.E.shape[0] if s.deflation is not None else 0
+        rows.append([coarse, s.n_gamma, dim, its, f"{err:.1e}"])
+    print(table(["coarse space", "interface dofs", "dim(E)",
+                 "interface #it", "error vs direct"], rows,
+                title="Schur complement + balanced Neumann-Neumann "
+                      "(8 subdomains, contrast 3e6)"))
+
+    s = SchurComplementSolver(prob, part, coarse="constants")
+    dec = Decomposition(prob, part, delta=1)
+    overl = sum(len(sub.neighbors) + 1
+                for sub in dec.subdomains) / dec.num_subdomains ** 2
+    print(f"\nE block density: {s.coarse_pattern_density():.2f} "
+          f"(non-overlapping) vs {overl:.2f} (overlapping) — the denser "
+          f"pattern of paper §3.1,\nhandled by the same assembly "
+          f"framework.")
+
+
+if __name__ == "__main__":
+    main()

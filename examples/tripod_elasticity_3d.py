@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""3D heterogeneous elasticity on the tripod (paper fig. 6 top).
+
+The paper's 3D strong-scaling geometry is a tripod: a column standing on
+three legs, meshed by Gmsh, with two elastic phases.  Here the tripod is
+carved from a structured tetrahedral mesh, loaded vertically on its top
+face and clamped under its feet; the solve uses P2 elements and the
+two-level GenEO preconditioner, and exports mesh + displacement +
+partition as legacy VTK for ParaView.
+
+Run:  python examples/tripod_elasticity_3d.py
+"""
+
+import numpy as np
+
+from repro import SchwarzSolver
+from repro.fem import assemble_boundary_load, layered_elasticity
+from repro.fem.forms import ElasticityForm
+from repro.mesh import tripod_3d, write_vtk
+
+
+def main():
+    mesh = tripod_3d(3)
+    print(f"tripod mesh: {mesh.num_cells} tets, {mesh.num_vertices} "
+          f"vertices, volume {mesh.total_volume():.2f}")
+
+    lam, mu = layered_elasticity(mesh, n_layers=5, axis=2)
+    form = ElasticityForm(degree=2, lam=lam, mu=mu,
+                          f=np.array([0.0, 0.0, -9.81]))
+    clamp = lambda x: x[:, 2] < 1e-9            # noqa: E731  (the feet)
+
+    solver = SchwarzSolver(mesh, form, num_subdomains=8, delta=1, nev=16,
+                           dirichlet=clamp, seed=0)
+    print(f"P2 elasticity: {solver.problem.space.num_dofs} dofs, "
+          f"8 subdomains, dim(E) = {solver.coarse_dim}")
+
+    # vertical load on the column's top face
+    top = float(mesh.vertices[:, 2].max())
+    g = assemble_boundary_load(solver.problem.space,
+                               np.array([0.0, 0.0, -1e5]),
+                               where=lambda x: x[:, 2] > top - 1e-9)
+    b = solver.problem.rhs()
+    scale = solver.problem.scale
+    gr = g[solver.problem.free]
+    b = b + (gr if scale is None else scale * gr)
+
+    report = solver.solve(b, tol=1e-6, restart=40, maxiter=300)
+    print(f"A-DEF1 GMRES(40): {report.iterations} iterations, "
+          f"converged={report.converged}")
+    zeros = [int((np.abs(g.eigenvalues) < 1e-8).sum())
+             for g in solver.geneo_results]
+    print(f"rigid modes captured per subdomain (6 ⇔ floating in 3D): "
+          f"{zeros}")
+
+    # export for ParaView
+    nv = mesh.num_vertices
+    disp = report.x.reshape(-1, 3)[:nv]
+    part_cells = solver.decomposition.part.astype(float)
+    write_vtk(mesh, "tripod_solution.vtk",
+              point_data={"displacement": disp},
+              cell_data={"partition": part_cells,
+                         "mu": np.asarray(mu, dtype=float)})
+    print("wrote tripod_solution.vtk "
+          f"(max |u| = {np.abs(disp).max():.3e})")
+
+
+if __name__ == "__main__":
+    main()

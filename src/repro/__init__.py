@@ -1,0 +1,13 @@
+"""repro — Scalable domain decomposition preconditioners for
+heterogeneous elliptic problems (reproduction of Jolivet, Hecht, Nataf,
+Prud'homme, SC '13).
+
+Public entry point: :class:`repro.SchwarzSolver`; subsystems live in the
+subpackages ``mesh``, ``fem``, ``partition``, ``dd``, ``core``,
+``krylov``, ``solvers``, ``eigen``, ``mpi``, ``perfmodel``.
+"""
+
+from .core.solver import SchwarzSolver, SolveReport
+
+__version__ = "1.0.0"
+__all__ = ["SchwarzSolver", "SolveReport", "__version__"]

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro.cli``.
+
+Solve the paper's benchmark problems from a shell, without writing a
+script::
+
+    python -m repro.cli solve --problem diffusion2d --n 48 \\
+        --subdomains 16 --nev 8 --tol 1e-8
+    python -m repro.cli solve --problem elasticity2d --levels 1
+    python -m repro.cli info --problem diffusion3d --n 6
+
+Subcommands
+-----------
+``solve``
+    Build the problem, run the configured solver, print the report (and
+    optionally export the solution as VTK).
+``info``
+    Print mesh/space/decomposition statistics without solving.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import SchwarzSolver
+from .common.asciiplot import semilogy, table
+from .fem import channels_and_inclusions, layered_elasticity
+from .fem.forms import DiffusionForm, ElasticityForm
+from .mesh import cantilever_2d, unit_cube, unit_square
+from .partition import imbalance, partition_mesh
+
+PROBLEMS = ("diffusion2d", "diffusion3d", "elasticity2d", "elasticity3d")
+
+
+def build_problem(args):
+    """(mesh, form, dirichlet) for the requested benchmark problem."""
+    if args.problem == "diffusion2d":
+        mesh = unit_square(args.n)
+        form = DiffusionForm(degree=args.degree or 2,
+                             kappa=channels_and_inclusions(mesh,
+                                                           seed=args.seed))
+        return mesh, form, None
+    if args.problem == "diffusion3d":
+        mesh = unit_cube(args.n)
+        form = DiffusionForm(degree=args.degree or 2,
+                             kappa=channels_and_inclusions(mesh,
+                                                           seed=args.seed))
+        return mesh, form, None
+    if args.problem == "elasticity2d":
+        mesh = cantilever_2d(max(2, args.n // 6), length=8.0)
+        lam, mu = layered_elasticity(mesh, n_layers=8)
+        form = ElasticityForm(degree=args.degree or 2, lam=lam, mu=mu,
+                              f=np.array([0.0, -9.81]))
+        return mesh, form, (lambda x: x[:, 0] < 1e-9)
+    if args.problem == "elasticity3d":
+        mesh = unit_cube(args.n)
+        lam, mu = layered_elasticity(mesh, n_layers=4, axis=2)
+        form = ElasticityForm(degree=args.degree or 1, lam=lam, mu=mu,
+                              f=np.array([0.0, 0.0, -9.81]))
+        return mesh, form, (lambda x: x[:, 2] < 1e-9)
+    raise SystemExit(f"unknown problem {args.problem!r}; "
+                     f"choose from {PROBLEMS}")
+
+
+def cmd_solve(args) -> int:
+    mesh, form, clamp = build_problem(args)
+    solver = SchwarzSolver(
+        mesh, form, num_subdomains=args.subdomains, delta=args.delta,
+        nev=args.nev, levels=args.levels, krylov=args.krylov,
+        partition_method=args.partitioner, dirichlet=clamp,
+        seed=args.seed)
+    report = solver.solve(tol=args.tol, restart=args.restart,
+                          maxiter=args.maxiter)
+    rows = [["problem", args.problem],
+            ["dofs", solver.problem.space.num_dofs],
+            ["subdomains", args.subdomains],
+            ["coarse dim", solver.coarse_dim],
+            ["iterations", report.iterations],
+            ["converged", report.converged],
+            ["final residual", f"{report.krylov.final_residual:.3e}"]]
+    for phase, secs in solver.timer.as_dict().items():
+        rows.append([f"time: {phase}", f"{secs:.2f} s"])
+    print(table(["quantity", "value"], rows, title="repro solve report"))
+    if args.plot:
+        print()
+        print(semilogy({"residual": report.residuals}))
+    if args.vtk:
+        from .mesh import write_vtk
+        space = solver.problem.space
+        if space.ncomp == 1:
+            pd = {"u": report.x[:mesh.num_vertices]}
+        else:
+            pd = {"u": report.x.reshape(-1, space.ncomp)
+                  [:mesh.num_vertices]}
+        write_vtk(mesh, args.vtk, point_data=pd,
+                  cell_data={"partition": solver.decomposition.part
+                             .astype(float)})
+        print(f"\nsolution written to {args.vtk}")
+    return 0 if report.converged else 1
+
+
+def cmd_info(args) -> int:
+    mesh, form, clamp = build_problem(args)
+    space = form.make_space(mesh)
+    part = partition_mesh(mesh, args.subdomains,
+                          method=args.partitioner, seed=args.seed)
+    rows = [["dim", mesh.dim],
+            ["cells", mesh.num_cells],
+            ["vertices", mesh.num_vertices],
+            ["h_max", f"{mesh.h_max():.4f}"],
+            ["degree", space.degree],
+            ["dofs", space.num_dofs],
+            ["subdomains", args.subdomains],
+            ["partition imbalance", f"{imbalance(part):.3f}"]]
+    print(table(["quantity", "value"], rows, title="repro problem info"))
+    if args.decomposition:
+        from .dd import Decomposition, Problem, decomposition_report
+        problem = Problem(mesh, form, dirichlet=clamp)
+        dec = Decomposition(problem, part, delta=args.delta)
+        print()
+        print(decomposition_report(dec).render())
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="Two-level GenEO-Schwarz solver (SC13 "
+                                  "reproduction)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--problem", default="diffusion2d",
+                        choices=PROBLEMS)
+        sp.add_argument("--n", type=int, default=32,
+                        help="mesh resolution parameter")
+        sp.add_argument("--degree", type=int, default=0,
+                        help="FE degree (0 = problem default)")
+        sp.add_argument("--subdomains", "-N", type=int, default=8)
+        sp.add_argument("--partitioner", default="multilevel",
+                        choices=("multilevel", "rcb", "spectral"))
+        sp.add_argument("--seed", type=int, default=0)
+
+    ps = sub.add_parser("solve", help="run the two-level solver")
+    common(ps)
+    ps.add_argument("--delta", type=int, default=1, help="overlap width")
+    ps.add_argument("--nev", type=int, default=8,
+                    help="GenEO vectors per subdomain (0 = Nicolaides)")
+    ps.add_argument("--levels", type=int, default=2, choices=(1, 2))
+    ps.add_argument("--krylov", default="gmres",
+                    choices=("gmres", "p1-gmres", "cg"))
+    ps.add_argument("--tol", type=float, default=1e-6)
+    ps.add_argument("--restart", type=int, default=40)
+    ps.add_argument("--maxiter", type=int, default=400)
+    ps.add_argument("--plot", action="store_true",
+                    help="print the ASCII convergence curve")
+    ps.add_argument("--vtk", default="",
+                    help="write the solution to this VTK file")
+    ps.set_defaults(fn=cmd_solve)
+
+    pi = sub.add_parser("info", help="print problem statistics")
+    common(pi)
+    pi.add_argument("--decomposition", action="store_true",
+                    help="also build the decomposition and report "
+                         "overlap/neighbour statistics")
+    pi.add_argument("--delta", type=int, default=1)
+    pi.set_defaults(fn=cmd_info)
+    return p
+
+
+def main(argv=None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

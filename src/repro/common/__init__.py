@@ -1,0 +1,36 @@
+"""Shared utilities: errors, timing, validation."""
+
+from .errors import (
+    CommunicatorError,
+    ConvergenceError,
+    DecompositionError,
+    EigenError,
+    FEMError,
+    KrylovError,
+    MeshError,
+    PartitionError,
+    ReproError,
+    SolverError,
+)
+from .timing import PhaseTimer, Timer
+from .validation import as_1d_float, as_csr, check_square, check_symmetric, require
+
+__all__ = [
+    "CommunicatorError",
+    "ConvergenceError",
+    "DecompositionError",
+    "EigenError",
+    "FEMError",
+    "KrylovError",
+    "MeshError",
+    "PartitionError",
+    "ReproError",
+    "SolverError",
+    "PhaseTimer",
+    "Timer",
+    "as_1d_float",
+    "as_csr",
+    "check_square",
+    "check_symmetric",
+    "require",
+]

@@ -1,0 +1,101 @@
+"""Terminal plotting for the benchmark harness (no matplotlib offline).
+
+Renders the paper's convergence histograms (figs. 1 and 7) and scaling
+curves (figs. 8 and 10) as ASCII so every figure is regenerable from a
+bare checkout.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def semilogy(series: dict[str, list[float]], *, width: int = 70,
+             height: int = 20, xlabel: str = "#iterations",
+             ylabel: str = "residual") -> str:
+    """Plot one or more residual histories on a log-y grid.
+
+    ``series`` maps label -> list of positive values (per iteration).
+    Returns a printable multi-line string.
+    """
+    if not series:
+        return "(no data)"
+    markers = "*+ox#@%&"
+    all_vals = [v for vals in series.values() for v in vals if v > 0]
+    if not all_vals:
+        return "(no positive data)"
+    lo = math.floor(math.log10(min(all_vals)))
+    hi = math.ceil(math.log10(max(all_vals)))
+    hi = max(hi, lo + 1)
+    xmax = max(len(v) for v in series.values())
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(i):
+        return min(width - 1, int(i / max(1, xmax - 1) * (width - 1)))
+
+    def to_row(v):
+        t = (math.log10(v) - lo) / (hi - lo)
+        return min(height - 1, max(0, int((1 - t) * (height - 1))))
+
+    for k, (label, vals) in enumerate(series.items()):
+        mk = markers[k % len(markers)]
+        for i, v in enumerate(vals):
+            if v > 0:
+                grid[to_row(v)][to_col(i)] = mk
+    lines = []
+    for r, row in enumerate(grid):
+        t = 1 - r / (height - 1)
+        exp = lo + t * (hi - lo)
+        ytick = f"1e{exp:+05.1f} |" if r % 4 == 0 else "        |"
+        lines.append(ytick + "".join(row))
+    lines.append("        +" + "-" * width)
+    lines.append(f"         0{' ' * (width - 12)}{xmax:>6} {xlabel}")
+    legend = "   ".join(f"[{markers[k % len(markers)]}] {label}"
+                        for k, label in enumerate(series))
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def table(headers: list[str], rows: list[list], *, title: str = "") -> str:
+    """Fixed-width table in the style of the paper's figures 8/10/11."""
+    cells = [[_fmt(x) for x in row] for row in rows]
+    widths = [max(len(h), *(len(r[c]) for r in cells)) if cells else len(h)
+              for c, h in enumerate(headers)]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        out.append("  ".join(x.rjust(w) for x, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1e5 or abs(x) < 1e-3:
+            return f"{x:.2e}"
+        return f"{x:.3g}" if abs(x) < 1 else f"{x:.2f}"
+    if isinstance(x, (np.floating,)):
+        return _fmt(float(x))
+    return str(x)
+
+
+def sparsity(matrix, *, width: int = 60) -> str:
+    """ASCII spy plot (figs. 3–4: the block patterns of Z and E)."""
+    import scipy.sparse as sp
+    M = sp.coo_matrix(matrix)
+    n_rows, n_cols = M.shape
+    h = max(1, round(width * n_rows / max(n_cols, 1) / 2))
+    grid = [[" "] * width for _ in range(h)]
+    for r, c in zip(M.row, M.col):
+        rr = min(h - 1, int(r / max(1, n_rows) * h))
+        cc = min(width - 1, int(c / max(1, n_cols) * width))
+        grid[rr][cc] = "#"
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"

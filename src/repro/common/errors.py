@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the public API derive from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+without masking programming errors (``TypeError`` etc. propagate
+unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MeshError(ReproError):
+    """Invalid mesh topology or geometry (inverted cells, bad indices)."""
+
+
+class FEMError(ReproError):
+    """Invalid finite-element configuration (unknown degree, bad form)."""
+
+
+class PartitionError(ReproError):
+    """Graph-partitioning failure (infeasible balance, empty part)."""
+
+
+class DecompositionError(ReproError):
+    """Invalid overlapping-decomposition request or inconsistent state."""
+
+
+class CommunicatorError(ReproError):
+    """Misuse of the simulated MPI layer (rank out of range, mismatched
+    collective participation, operations on a null communicator)."""
+
+
+class SolverError(ReproError):
+    """Direct-solver failure (singular pivot, non-SPD matrix in Cholesky)."""
+
+
+class EigenError(ReproError):
+    """Eigensolver failure (no convergence, invalid pencil)."""
+
+
+class KrylovError(ReproError):
+    """Krylov-method failure (breakdown, invalid restart parameter)."""
+
+
+class ConvergenceError(KrylovError):
+    """Iterative method exhausted its iteration budget.
+
+    Carries the partially converged iterate and the residual history so
+    that callers (and the benchmark harness, which *expects* the
+    one-level method to stall) can still inspect the run.
+    """
+
+    def __init__(self, message: str, x=None, residuals=None):
+        super().__init__(message)
+        self.x = x
+        self.residuals = residuals if residuals is not None else []

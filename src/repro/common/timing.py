@@ -1,0 +1,79 @@
+"""Phase timers used by the benchmark harness.
+
+The paper reports per-phase wall-clock times (columns *factorization*,
+*deflation*, *solution*, *total* of figures 8 and 10).  :class:`PhaseTimer`
+accumulates measured seconds per named phase; the scaling harness combines
+these measured local-compute times with modelled communication times from
+:mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulate wall-clock seconds under named phases.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("factorization"):
+            factorize(...)
+        timer.seconds("factorization")
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Credit *seconds* to phase *name* without running a block."""
+        self.totals[name] = self.totals.get(name, 0.0) + float(seconds)
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        """Total accumulated seconds for *name* (0.0 if never entered)."""
+        return self.totals.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self.totals.values())
+
+    def merge_max(self, other: "PhaseTimer") -> None:
+        """Per-phase maximum with *other*.
+
+        Models SPMD execution: the wall-clock of a phase executed
+        concurrently by all ranks is the slowest rank's time.
+        """
+        for name, secs in other.totals.items():
+            self.totals[name] = max(self.totals.get(name, 0.0), secs)
+            self.counts[name] = max(self.counts.get(name, 0),
+                                    other.counts.get(name, 0))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.totals)
+
+
+class Timer:
+    """Minimal single-shot timer: ``with Timer() as t: ...; t.elapsed``."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

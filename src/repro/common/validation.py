@@ -1,0 +1,51 @@
+"""Argument validation helpers used at public API boundaries.
+
+Hot inner loops never call these; they exist so that user-facing entry
+points fail fast with actionable messages instead of cryptic numpy
+broadcasting errors three stack frames down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .errors import ReproError
+
+
+def require(condition: bool, exc_type: type[ReproError], message: str) -> None:
+    """Raise ``exc_type(message)`` unless *condition* holds."""
+    if not condition:
+        raise exc_type(message)
+
+
+def as_1d_float(x, name: str = "vector") -> np.ndarray:
+    """Coerce *x* to a contiguous 1-D float64 array."""
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ReproError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def as_csr(A, name: str = "matrix") -> sp.csr_matrix:
+    """Coerce *A* to CSR, accepting any scipy sparse format or dense."""
+    if sp.issparse(A):
+        return A.tocsr()
+    arr = np.asarray(A)
+    if arr.ndim != 2:
+        raise ReproError(f"{name} must be 2-D, got shape {arr.shape}")
+    return sp.csr_matrix(arr)
+
+
+def check_square(A, name: str = "matrix") -> None:
+    if A.shape[0] != A.shape[1]:
+        raise ReproError(f"{name} must be square, got shape {A.shape}")
+
+
+def check_symmetric(A, name: str = "matrix", tol: float = 1e-10) -> None:
+    """Cheap symmetry check for sparse matrices (exact pattern + values)."""
+    A = as_csr(A, name)
+    diff = (A - A.T).tocoo()
+    if diff.nnz and np.max(np.abs(diff.data)) > tol * max(1.0, abs(A).max()):
+        raise ReproError(f"{name} is not symmetric (max asymmetry "
+                         f"{np.max(np.abs(diff.data)):.3e})")

@@ -1,0 +1,44 @@
+"""The paper's contribution: GenEO coarse spaces, the coarse operator
+machinery of §3, and the one-/two-level Schwarz preconditioners."""
+
+from .abstract import AbstractDeflation, nonoverlapping_pattern
+from .adef import TwoLevelADEF1, TwoLevelADEF2, TwoLevelBNN
+from .coarse import (
+    CoarseOperator,
+    assemble_coarse_matrix,
+    coarse_blocks,
+    elect_masters_nonuniform,
+    elect_masters_uniform,
+    split_ranges,
+)
+from .deflation import DeflationSpace
+from .geneo import GeneoResult, compute_deflation, geneo_pencil, nicolaides_deflation
+from .ras import OneLevelASM, OneLevelRAS
+from .ritz import arnoldi, harmonic_ritz_pairs, ritz_deflation
+from .solver import SchwarzSolver, SolveReport
+
+__all__ = [
+    "AbstractDeflation",
+    "nonoverlapping_pattern",
+    "ritz_deflation",
+    "arnoldi",
+    "harmonic_ritz_pairs",
+    "SchwarzSolver",
+    "SolveReport",
+    "OneLevelRAS",
+    "OneLevelASM",
+    "TwoLevelADEF1",
+    "TwoLevelADEF2",
+    "TwoLevelBNN",
+    "CoarseOperator",
+    "DeflationSpace",
+    "coarse_blocks",
+    "assemble_coarse_matrix",
+    "elect_masters_uniform",
+    "elect_masters_nonuniform",
+    "split_ranges",
+    "compute_deflation",
+    "nicolaides_deflation",
+    "geneo_pencil",
+    "GeneoResult",
+]

@@ -1,0 +1,92 @@
+"""Two-level deflated preconditioners (paper eq. 6–7; Tang et al. 2009).
+
+* ``P⁻¹_A-DEF1 = P⁻¹_RAS (I − A Z E⁻¹ Zᵀ) + Z E⁻¹ Zᵀ`` — the paper's
+  choice: **one** coarse solve per application (its result is reused in
+  both terms), which matters because the coarse solve is the most
+  communication-intensive operation of an iteration (§2.1).
+* ``P⁻¹_A-DEF2 = (I − Z E⁻¹ Zᵀ A) P⁻¹_RAS + Z E⁻¹ Zᵀ`` — numerically
+  similar but needs **two** coarse solves; kept for the ablation bench.
+* BNN (hybrid balancing): ``(I − ZE⁻¹ZᵀA) P⁻¹ (I − AZE⁻¹Zᵀ) + ZE⁻¹Zᵀ``
+  — symmetric when P⁻¹ is, pairs with CG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dd.decomposition import Decomposition
+from .coarse import CoarseOperator
+from .ras import OneLevelRAS
+
+
+class TwoLevelADEF1:
+    """The paper's preconditioner (eq. 6)."""
+
+    def __init__(self, ras: OneLevelRAS, coarse: CoarseOperator):
+        self.ras = ras
+        self.coarse = coarse
+        self.dec: Decomposition = ras.dec
+        self.applications = 0
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        self.applications += 1
+        w = self.coarse.correction(u)          # Z E⁻¹ Zᵀ u — 1 coarse solve
+        v = u - self.dec.matvec(w)             # (I − A Z E⁻¹ Zᵀ) u
+        return self.ras.apply(v) + w
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        return self.apply(u)
+
+    @property
+    def coarse_solves_per_application(self) -> int:
+        return 1
+
+
+class TwoLevelADEF2:
+    """Eq. (7): same spectrum family, two coarse solves per application."""
+
+    def __init__(self, ras: OneLevelRAS, coarse: CoarseOperator):
+        self.ras = ras
+        self.coarse = coarse
+        self.dec: Decomposition = ras.dec
+        self.applications = 0
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        self.applications += 1
+        w = self.coarse.correction(u)          # coarse solve #1
+        v = self.ras.apply(u)
+        v = v - self.coarse.correction(self.dec.matvec(v))  # coarse solve #2
+        return v + w
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        return self.apply(u)
+
+    @property
+    def coarse_solves_per_application(self) -> int:
+        return 2
+
+
+class TwoLevelBNN:
+    """Hybrid (balancing Neumann–Neumann form): symmetric when the
+    one-level part is (use with :class:`~repro.core.ras.OneLevelASM` + CG)."""
+
+    def __init__(self, one_level, coarse: CoarseOperator):
+        self.one_level = one_level
+        self.coarse = coarse
+        self.dec: Decomposition = one_level.dec
+        self.applications = 0
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        self.applications += 1
+        w = self.coarse.correction(u)
+        v = u - self.dec.matvec(w)             # (I − A Q) u
+        z = self.one_level.apply(v)
+        z = z - self.coarse.correction(self.dec.matvec(z))  # (I − Q A)
+        return z + w
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        return self.apply(u)
+
+    @property
+    def coarse_solves_per_application(self) -> int:
+        return 2

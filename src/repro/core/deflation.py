@@ -1,0 +1,84 @@
+"""The deflation matrix Z (paper fig. 3) — never assembled globally.
+
+Z = [R₁ᵀW₁ R₂ᵀW₂ … R_NᵀW_N] is block-sparse: one dense ``n_i × ν_i``
+block per subdomain, rows overlapping where dofs are duplicated.  All
+products with Z and Zᵀ are computed from the per-subdomain W_i blocks
+(§3.2 steps 1 and 3); an explicit sparse Z is available for tests only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..common.errors import DecompositionError
+from ..dd.decomposition import Decomposition
+
+
+class DeflationSpace:
+    """Per-subdomain deflation blocks W_i and the implicit Z operations."""
+
+    def __init__(self, dec: Decomposition, W_blocks: list[np.ndarray]):
+        if len(W_blocks) != dec.num_subdomains:
+            raise DecompositionError(
+                f"expected {dec.num_subdomains} W blocks, got {len(W_blocks)}")
+        for s, W in zip(dec.subdomains, W_blocks):
+            if W.shape[0] != s.size:
+                raise DecompositionError(
+                    f"W block of subdomain {s.index} has {W.shape[0]} rows, "
+                    f"expected {s.size}")
+        self.dec = dec
+        self.W = [np.ascontiguousarray(W, dtype=np.float64)
+                  for W in W_blocks]
+        #: ν_i per subdomain
+        self.nu = np.array([W.shape[1] for W in self.W], dtype=np.int64)
+        #: global column offsets r_i = Σ_{j<i} ν_j
+        self.offsets = np.concatenate([[0], np.cumsum(self.nu)])
+        self.m = int(self.offsets[-1])
+
+    # ------------------------------------------------------------------
+    def zt_dot(self, u: np.ndarray) -> np.ndarray:
+        """w = Zᵀu (§3.2 step 1): each subdomain computes W_iᵀ u_i (gemv);
+        the concatenation is the coarse right-hand side."""
+        dec = self.dec
+        parts = [W.T @ u[s.dofs]
+                 for W, s in zip(self.W, dec.subdomains)]
+        return np.concatenate(parts)
+
+    def z_dot(self, y: np.ndarray) -> np.ndarray:
+        """z = Zy (§3.2 step 3): z_i = W_i y_i locally, then the overlap
+        sum Σ_j R_iR_jᵀ z_j — same communication as one matvec (eq. 12)."""
+        if y.shape != (self.m,):
+            raise DecompositionError(
+                f"coarse vector must have shape ({self.m},), got {y.shape}")
+        dec = self.dec
+        z_list = [W @ y[self.offsets[i]:self.offsets[i + 1]]
+                  for i, W in enumerate(self.W)]
+        summed = dec.exchange_sum(z_list)
+        # read off the global vector: every subdomain now holds R_i(Zy);
+        # stitch through the partition of unity (values agree on overlaps)
+        return dec.combine(summed)
+
+    def z_dot_local(self, y: np.ndarray) -> list[np.ndarray]:
+        """Distributed form of :meth:`z_dot`: returns R_i(Zy) per rank."""
+        dec = self.dec
+        z_list = [W @ y[self.offsets[i]:self.offsets[i + 1]]
+                  for i, W in enumerate(self.W)]
+        return dec.exchange_sum(z_list)
+
+    # ------------------------------------------------------------------
+    def explicit_z(self) -> sp.csr_matrix:
+        """Assembled sparse Z (n_free × m) — tests and figure 3 only."""
+        dec = self.dec
+        rows, cols, vals = [], [], []
+        for i, (W, s) in enumerate(zip(self.W, dec.subdomains)):
+            r = np.repeat(s.dofs, W.shape[1])
+            c = np.tile(np.arange(self.offsets[i], self.offsets[i + 1]),
+                        s.size)
+            rows.append(r)
+            cols.append(c)
+            vals.append(W.ravel())
+        return sp.csr_matrix(
+            (np.concatenate(vals),
+             (np.concatenate(rows), np.concatenate(cols))),
+            shape=(dec.problem.num_free, self.m))

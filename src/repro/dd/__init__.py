@@ -1,0 +1,24 @@
+"""Overlapping domain decomposition substrate (paper §2)."""
+
+from .decomposition import Decomposition, Subdomain
+from .dofmap import map_scalar_dofs, map_vector_dofs
+from .overlap import all_overlaps, grow_overlap, vertex_layers
+from .pou import chi_tilde, expand_to_vector, pou_diagonal
+from .problem import Problem
+from .report import DecompositionReport, decomposition_report
+
+__all__ = [
+    "Problem",
+    "decomposition_report",
+    "DecompositionReport",
+    "Decomposition",
+    "Subdomain",
+    "grow_overlap",
+    "all_overlaps",
+    "vertex_layers",
+    "chi_tilde",
+    "pou_diagonal",
+    "expand_to_vector",
+    "map_scalar_dofs",
+    "map_vector_dofs",
+]

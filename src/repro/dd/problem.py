@@ -1,0 +1,128 @@
+"""Global problem definition: form + mesh + essential boundary conditions.
+
+The solvers all operate on the *reduced* SPD system (Dirichlet dofs
+eliminated), which matches the paper's setting where A is symmetric
+positive definite.  The global matrix is assembled **only on demand**
+(tests, one-level baselines, reference residuals); the domain-decomposition
+path never calls :meth:`Problem.matrix`.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..common.errors import DecompositionError
+from ..fem.forms import Form
+from ..fem.space import FunctionSpace
+from ..mesh import SimplexMesh
+
+
+class Problem:
+    """An elliptic problem ``a(u, v) = l(v)`` with homogeneous Dirichlet
+    conditions on a boundary region.
+
+    Parameters
+    ----------
+    mesh, form:
+        Geometry and variational form.
+    dirichlet:
+        ``None`` → whole boundary; a callable ``(n, dim) -> bool mask`` →
+        that part of the boundary; an explicit dof array is also accepted.
+    """
+
+    def __init__(self, mesh: SimplexMesh, form: Form, *, dirichlet=None,
+                 scaling: str | None = None):
+        if scaling not in (None, "jacobi"):
+            raise DecompositionError(
+                f"unknown scaling {scaling!r} (expected None or 'jacobi')")
+        self.scaling = scaling
+        #: symmetric-scaling vector s = diag(A)^{-1/2} on free dofs; set by
+        #: the decomposition (from local diagonals) or lazily from the
+        #: assembled matrix.  The solved system is (SAS)(S⁻¹x) = Sb.
+        self._scale: np.ndarray | None = None
+        self.mesh = mesh
+        self.form = form
+        self.space: FunctionSpace = form.make_space(mesh)
+        if dirichlet is None or callable(dirichlet):
+            self.dirichlet_dofs = self.space.boundary_dofs(dirichlet)
+        else:
+            self.dirichlet_dofs = np.unique(
+                np.asarray(dirichlet, dtype=np.int64))
+        if self.dirichlet_dofs.size == 0:
+            raise DecompositionError(
+                "problem has no Dirichlet dofs; the operator would be "
+                "singular (pure-Neumann problems are not supported)")
+        n = self.space.num_dofs
+        mask = np.ones(n, dtype=bool)
+        mask[self.dirichlet_dofs] = False
+        #: global free (unconstrained) dof ids, sorted
+        self.free = np.flatnonzero(mask)
+        #: full-dof -> reduced index, -1 on constrained dofs
+        self.free_lookup = np.full(n, -1, dtype=np.int64)
+        self.free_lookup[self.free] = np.arange(self.free.size)
+
+    @property
+    def num_free(self) -> int:
+        return int(self.free.size)
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def _full_system(self) -> tuple[sp.csr_matrix, np.ndarray]:
+        A = self.form.assemble_matrix(self.space)
+        b = self.form.assemble_rhs(self.space)
+        return A, b
+
+    # -- symmetric Jacobi scaling --------------------------------------
+    def set_scale(self, scale: np.ndarray) -> None:
+        """Install the scaling vector (computed by the decomposition from
+        the *local* matrix diagonals — the global A stays unassembled)."""
+        scale = np.asarray(scale, dtype=np.float64)
+        if scale.shape != (self.num_free,):
+            raise DecompositionError(
+                f"scale must have shape ({self.num_free},), got {scale.shape}")
+        self._scale = scale
+
+    @property
+    def scale(self) -> np.ndarray | None:
+        """diag(A)^{-1/2} on free dofs (None when scaling is off)."""
+        if self.scaling is None:
+            return None
+        if self._scale is None:
+            A, _ = self._full_system
+            d = A.diagonal()[self.free]
+            self.set_scale(1.0 / np.sqrt(d))
+        return self._scale
+
+    def matrix(self) -> sp.csr_matrix:
+        """Reduced global stiffness matrix (assembled lazily; reference
+        use only — the DD path never forms it).  Includes the symmetric
+        scaling when enabled."""
+        A, _ = self._full_system
+        A = A[self.free][:, self.free].tocsr()
+        s = self.scale
+        if s is not None:
+            S = sp.diags(s)
+            A = (S @ A @ S).tocsr()
+        return A
+
+    def rhs(self) -> np.ndarray:
+        """Reduced (and scaled, if enabled) right-hand side."""
+        _, b = self._full_system
+        b = b[self.free]
+        s = self.scale
+        return b if s is None else s * b
+
+    def extend(self, x_reduced: np.ndarray) -> np.ndarray:
+        """Prolong a reduced solution to the full dof vector (zeros on the
+        Dirichlet boundary), undoing the symmetric scaling."""
+        s = self.scale
+        out = np.zeros(self.space.num_dofs)
+        out[self.free] = x_reduced if s is None else s * x_reduced
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Problem({type(self.form).__name__}, "
+                f"n={self.space.num_dofs}, free={self.num_free})")

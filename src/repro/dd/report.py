@@ -1,0 +1,78 @@
+"""Decomposition diagnostics: the numbers a practitioner checks first.
+
+HPDDM/PETSc users debugging a slow two-level solve look at the same
+handful of quantities every time — subdomain size spread, overlap
+fraction, neighbour counts, partition-of-unity multiplicities.  This
+module computes them and renders the report the CLI's ``info`` command
+and the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.asciiplot import table
+from .decomposition import Decomposition
+
+
+@dataclass
+class DecompositionReport:
+    """Summary statistics of an overlapping decomposition."""
+
+    num_subdomains: int
+    delta: int
+    n_free: int
+    sizes: np.ndarray               # local dof counts n_i
+    core_sizes: np.ndarray          # dofs owned exclusively (mult == 1 part)
+    overlap_fractions: np.ndarray   # per subdomain: overlap dofs / n_i
+    neighbor_counts: np.ndarray     # |O_i|
+    max_multiplicity: int
+
+    @property
+    def size_imbalance(self) -> float:
+        return float(self.sizes.max() / max(self.sizes.mean(), 1e-300) - 1)
+
+    @property
+    def mean_overlap_fraction(self) -> float:
+        return float(self.overlap_fractions.mean())
+
+    def render(self) -> str:
+        rows = [
+            ["subdomains N", self.num_subdomains],
+            ["overlap width delta", self.delta],
+            ["global free dofs", self.n_free],
+            ["local dofs min / mean / max",
+             f"{self.sizes.min()} / {self.sizes.mean():.0f} / "
+             f"{self.sizes.max()}"],
+            ["size imbalance", f"{self.size_imbalance:.2%}"],
+            ["overlap fraction mean / max",
+             f"{self.overlap_fractions.mean():.2%} / "
+             f"{self.overlap_fractions.max():.2%}"],
+            ["|O_i| min / mean / max",
+             f"{self.neighbor_counts.min()} / "
+             f"{self.neighbor_counts.mean():.1f} / "
+             f"{self.neighbor_counts.max()}"],
+            ["max dof multiplicity", self.max_multiplicity],
+        ]
+        return table(["quantity", "value"], rows,
+                     title="decomposition report")
+
+
+def decomposition_report(dec: Decomposition) -> DecompositionReport:
+    """Compute the report for a built decomposition."""
+    sizes = np.array([s.size for s in dec.subdomains])
+    overlap = np.array([float(s.overlap_mask.mean())
+                        for s in dec.subdomains])
+    core = np.array([int((~s.overlap_mask).sum()) for s in dec.subdomains])
+    return DecompositionReport(
+        num_subdomains=dec.num_subdomains,
+        delta=dec.delta,
+        n_free=dec.problem.num_free,
+        sizes=sizes,
+        core_sizes=core,
+        overlap_fractions=overlap,
+        neighbor_counts=dec.neighbor_counts(),
+        max_multiplicity=int(dec.multiplicity.max()),
+    )

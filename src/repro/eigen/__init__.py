@@ -1,0 +1,5 @@
+"""Eigensolver substrate (the paper's ARPACK role)."""
+
+from .lanczos import EigenResult, lanczos_generalized, subspace_iteration
+
+__all__ = ["EigenResult", "lanczos_generalized", "subspace_iteration"]

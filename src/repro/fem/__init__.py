@@ -1,0 +1,70 @@
+"""Finite element substrate (the paper's FreeFem++ role).
+
+Lagrange Pk spaces on simplicial meshes, vectorised assembly of the
+paper's heterogeneous diffusion and linear-elasticity forms, Dirichlet
+boundary handling, and the high-contrast coefficient fields of figures 6
+and 9.
+"""
+
+from .assembly import (
+    apply_dirichlet,
+    assemble_elasticity,
+    assemble_load,
+    assemble_mass,
+    assemble_stiffness,
+    restrict_to_free,
+)
+from .boundary import assemble_boundary_load
+from .convergence import ConvergenceStudy, convergence_study
+from .postprocess import (
+    PointLocator,
+    energy_norm,
+    evaluate,
+    h1_seminorm,
+    l2_error,
+    l2_norm,
+)
+from .coefficients import (
+    HARD_PHASE,
+    KAPPA_MAX,
+    KAPPA_MIN,
+    SOFT_PHASE,
+    channels_and_inclusions,
+    constant_field,
+    lame_parameters,
+    layered_elasticity,
+)
+from .quadrature import grundmann_moeller, simplex_quadrature
+from .reference import ReferenceSimplex, reference_simplex
+from .space import FunctionSpace
+
+__all__ = [
+    "FunctionSpace",
+    "assemble_boundary_load",
+    "convergence_study",
+    "ConvergenceStudy",
+    "PointLocator",
+    "evaluate",
+    "l2_norm",
+    "l2_error",
+    "h1_seminorm",
+    "energy_norm",
+    "ReferenceSimplex",
+    "reference_simplex",
+    "simplex_quadrature",
+    "grundmann_moeller",
+    "assemble_stiffness",
+    "assemble_elasticity",
+    "assemble_mass",
+    "assemble_load",
+    "apply_dirichlet",
+    "restrict_to_free",
+    "channels_and_inclusions",
+    "layered_elasticity",
+    "lame_parameters",
+    "constant_field",
+    "HARD_PHASE",
+    "SOFT_PHASE",
+    "KAPPA_MIN",
+    "KAPPA_MAX",
+]

@@ -1,0 +1,122 @@
+"""Boundary-facet integration: surface loads ``∫_∂Ω g·v``.
+
+The paper's elasticity form includes a surface traction (a vertical
+loading imposed on part of the geometry, fig. 6).  This module assembles
+that boundary term with Grundmann–Möller quadrature on the (d−1)-simplex
+facets, mapped into the owning cell's reference coordinates.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+
+import numpy as np
+
+from ..common.errors import FEMError
+from .quadrature import simplex_quadrature
+from .space import FunctionSpace
+
+
+def _facet_area(vertices: np.ndarray) -> np.ndarray:
+    """Measures of facets given ``(nf, d, dim)`` vertex coordinates
+    (length of segments in 2D, area of triangles in 3D)."""
+    if vertices.shape[1] == 2:          # segments
+        return np.linalg.norm(vertices[:, 1] - vertices[:, 0], axis=1)
+    e1 = vertices[:, 1] - vertices[:, 0]
+    e2 = vertices[:, 2] - vertices[:, 0]
+    return 0.5 * np.linalg.norm(np.cross(e1, e2), axis=1)
+
+
+def assemble_boundary_load(space: FunctionSpace, g, where=None) -> np.ndarray:
+    """Surface load vector ``(g, v)_{∂Ω}``.
+
+    Parameters
+    ----------
+    g:
+        Traction: a constant (scalar spaces), a constant vector of length
+        ``ncomp``, or a callable mapping ``(n, dim)`` points to values /
+        ``(n, ncomp)`` vectors.
+    where:
+        Optional facet filter: predicate on the ``(nf, dim)`` facet
+        midpoints (e.g. ``lambda x: x[:, 1] > 1 - 1e-9`` for a top load).
+    """
+    mesh = space.mesh
+    dim = mesh.dim
+    uniq, inverse, counts, owner = mesh._facet_data
+    # owning cell of each boundary facet: position in the tiled facet list
+    order = np.argsort(inverse, kind="stable")
+    first_pos = np.zeros(uniq.shape[0], dtype=np.int64)
+    first_pos[inverse[order]] = order        # any position; unique for bnd
+    bnd_ids = np.flatnonzero(counts == 1)
+    facets = uniq[bnd_ids]                   # (nf, d) vertex ids
+    cells_of = owner[first_pos[bnd_ids]]
+
+    if where is not None:
+        mid = mesh.vertices[facets].mean(axis=1)
+        mask = np.asarray(where(mid), dtype=bool)
+        facets = facets[mask]
+        cells_of = cells_of[mask]
+    if facets.shape[0] == 0:
+        return np.zeros(space.num_dofs)
+
+    k = space.degree
+    qpts, qw = simplex_quadrature(dim - 1, 2 * k)
+    # facet reference barycentric coordinates of the quadrature points
+    lam = np.column_stack([1 - qpts.sum(axis=1), qpts])   # (nq, d)
+
+    b = np.zeros(space.num_dofs)
+    ref = space.ref
+    ncmp = space.ncomp
+    areas = _facet_area(mesh.vertices[facets])
+    # GM weights sum to 1/(d-1)!: convert to physical measure
+    w_scale = qw * factorial(dim - 1)
+
+    # positions of the facet's vertices within the owner cell (nf, d)
+    cell_verts = mesh.cells[cells_of]                      # (nf, dim+1)
+    local_pos = np.empty((facets.shape[0], dim), dtype=np.int64)
+    for j in range(dim):
+        eq = cell_verts == facets[:, j][:, None]
+        local_pos[:, j] = np.argmax(eq, axis=1)
+
+    # cell barycentric coordinates of all quadrature points: (nf, nq, dim+1)
+    nf, nq = facets.shape[0], lam.shape[0]
+    bary = np.zeros((nf, nq, dim + 1))
+    for j in range(dim):
+        bary[np.arange(nf)[:, None], np.arange(nq)[None, :],
+             local_pos[:, j][:, None]] = lam[None, :, j]
+    xref = bary[:, :, 1:]                                  # drop bary 0
+    # correction: reference coordinates are the barycentrics 1..dim
+    phys = np.einsum("fqd,fdk->fqk", bary,
+                     mesh.vertices[cell_verts])            # (nf, nq, dim)
+
+    if callable(g):
+        vals = np.asarray(g(phys.reshape(-1, dim)), dtype=np.float64)
+        expect = (nf * nq,) if ncmp == 1 else (nf * nq, ncmp)
+        if vals.shape != expect:
+            raise FEMError(f"boundary load callable returned {vals.shape}, "
+                           f"expected {expect}")
+        gq = vals.reshape((nf, nq) if ncmp == 1 else (nf, nq, ncmp))
+    else:
+        arr = np.asarray(g, dtype=np.float64)
+        if ncmp == 1:
+            gq = np.full((nf, nq), float(arr))
+        else:
+            if arr.shape != (ncmp,):
+                raise FEMError(f"constant traction must have shape "
+                               f"({ncmp},), got {arr.shape}")
+            gq = np.broadcast_to(arr, (nf, nq, ncmp)).copy()
+
+    # evaluate basis functions facet by facet (xref differs per facet)
+    dofs = space.cell_scalar_dofs
+    for f in range(nf):
+        phi = ref.eval_basis(xref[f])                      # (nq, n_loc)
+        wq = w_scale * areas[f]
+        cd = dofs[cells_of[f]]
+        if ncmp == 1:
+            contrib = (wq[:, None] * gq[f][:, None] * phi).sum(axis=0)
+            np.add.at(b, cd, contrib)
+        else:
+            contrib = np.einsum("q,qa,qi->ia", wq, gq[f], phi)
+            for a in range(ncmp):
+                np.add.at(b, cd * ncmp + a, contrib[:, a])
+    return b

@@ -1,0 +1,96 @@
+"""Heterogeneous coefficient fields from the paper's test problems.
+
+* Figure 9: diffusivity κ on the unit square/cube with *channels and
+  inclusions*, varying from 1 to 3·10⁶.
+* Figure 6: two-phase elastic moduli, (E₁, ν₁) = (2·10¹¹, 0.25) and
+  (E₂, ν₂) = (10⁷, 0.45), laid out in stripes across the geometry.
+
+Fields are returned per cell (piecewise constant), which is how strong
+heterogeneity enters real reservoir/composite models and what makes the
+one-level method stall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh import SimplexMesh
+
+#: the paper's elastic phases
+HARD_PHASE = (2.0e11, 0.25)   # (E, nu): steel-like
+SOFT_PHASE = (1.0e7, 0.45)    # rubber-like
+
+#: the paper's diffusivity contrast
+KAPPA_MIN = 1.0
+KAPPA_MAX = 3.0e6
+
+
+def channels_and_inclusions(mesh: SimplexMesh, *, n_channels: int = 4,
+                            n_inclusions: int = 8,
+                            kappa_min: float = KAPPA_MIN,
+                            kappa_max: float = KAPPA_MAX,
+                            seed: int = 0) -> np.ndarray:
+    """Per-cell diffusivity reproducing the structure of figure 9.
+
+    Horizontal high-diffusivity channels crossing the whole domain plus
+    randomly placed spherical inclusions, against a κ = *kappa_min*
+    background.  Deterministic for a given *seed*.
+    """
+    c = mesh.cell_centroids()
+    lo = mesh.vertices.min(axis=0)
+    hi = mesh.vertices.max(axis=0)
+    span = hi - lo
+    y = (c[:, 1] - lo[1]) / span[1]
+    kappa = np.full(mesh.num_cells, kappa_min)
+
+    # channels: thin horizontal bands at fixed heights
+    width = 0.45 / max(1, n_channels) / 2
+    for i in range(n_channels):
+        yc = (i + 0.5) / n_channels
+        band = np.abs(y - yc) < width
+        kappa[band] = kappa_max * (0.5 + 0.5 * (i + 1) / n_channels)
+
+    # inclusions: balls of intermediate diffusivity
+    rng = np.random.default_rng(seed)
+    radius = 0.06 * float(span.max())
+    for _ in range(n_inclusions):
+        center = lo + rng.random(mesh.dim) * span
+        d = np.linalg.norm(c - center, axis=1)
+        level = kappa_max * 10.0 ** (-float(rng.integers(0, 3)))
+        kappa[d < radius] = level
+    return kappa
+
+
+def layered_elasticity(mesh: SimplexMesh, *, n_layers: int = 6,
+                       axis: int = 0,
+                       hard=HARD_PHASE,
+                       soft=SOFT_PHASE) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell Lamé fields (λ, μ) for the striped two-phase solid of
+    figure 6: alternating hard/soft layers along *axis*."""
+    c = mesh.cell_centroids()
+    lo = mesh.vertices.min(axis=0)[axis]
+    hi = mesh.vertices.max(axis=0)[axis]
+    t = (c[:, axis] - lo) / max(hi - lo, 1e-300)
+    layer = np.minimum((t * n_layers).astype(np.int64), n_layers - 1)
+    is_hard = layer % 2 == 0
+    E = np.where(is_hard, hard[0], soft[0])
+    nu = np.where(is_hard, hard[1], soft[1])
+    return lame_parameters(E, nu)
+
+
+def lame_parameters(E, nu) -> tuple[np.ndarray, np.ndarray]:
+    """Convert Young's modulus / Poisson's ratio to Lamé (λ, μ).
+
+    μ = E / (2 (1 + ν)),  λ = E ν / ((1 + ν)(1 − 2ν))  — the paper's
+    definitions.
+    """
+    E = np.asarray(E, dtype=np.float64)
+    nu = np.asarray(nu, dtype=np.float64)
+    mu = E / (2.0 * (1.0 + nu))
+    lam = E * nu / ((1.0 + nu) * (1.0 - 2.0 * nu))
+    return lam, mu
+
+
+def constant_field(mesh: SimplexMesh, value: float) -> np.ndarray:
+    """Per-cell constant coefficient (homogeneous baseline)."""
+    return np.full(mesh.num_cells, float(value))

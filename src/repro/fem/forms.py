@@ -1,0 +1,109 @@
+"""Problem forms: restartable assembly recipes for global and local meshes.
+
+Domain decomposition assembles the *same* bilinear form on many meshes —
+the global mesh (only in tests/baselines), each T_i^{δ+1} (Dirichlet
+matrices via trimming) and each T_i^δ (Neumann matrices for GenEO).  A
+:class:`Form` captures the variational formulation plus its per-cell
+coefficient fields, and knows how to restrict the coefficients when
+assembling on a submesh (via the submesh's parent ``cell_map``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..common.errors import FEMError
+from ..mesh import SimplexMesh
+from .assembly import assemble_elasticity, assemble_load, assemble_stiffness
+from .space import FunctionSpace
+
+
+def _restrict(coeff, cell_map):
+    """Restrict a coefficient to submesh cells (per-cell arrays only)."""
+    if coeff is None or np.isscalar(coeff) or callable(coeff):
+        return coeff
+    arr = np.asarray(coeff)
+    if cell_map is None:
+        return arr
+    return arr[cell_map]
+
+
+class Form:
+    """Abstract variational form; see :class:`DiffusionForm` and
+    :class:`ElasticityForm`."""
+
+    degree: int
+    ncomp: int
+
+    def make_space(self, mesh: SimplexMesh) -> FunctionSpace:
+        return FunctionSpace(mesh, self.degree, self.ncomp)
+
+    def assemble_matrix(self, space: FunctionSpace,
+                        cell_map=None) -> sp.csr_matrix:  # pragma: no cover
+        raise NotImplementedError
+
+    def assemble_rhs(self, space: FunctionSpace,
+                     cell_map=None) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class DiffusionForm(Form):
+    """``a(u, v) = ∫ κ ∇u·∇v``, ``l(v) = ∫ f v`` — the paper's weak-scaling
+    problem (Darcy / porous-media flow, fig. 9).
+
+    ``kappa`` may be a scalar, per-cell array on the *parent* mesh, or a
+    callable; ``f`` a scalar or callable.
+    """
+
+    degree: int
+    kappa: object = None
+    f: object = 1.0
+
+    ncomp: int = 1
+
+    def assemble_matrix(self, space, cell_map=None):
+        if space.ncomp != 1:
+            raise FEMError("DiffusionForm requires a scalar space")
+        return assemble_stiffness(space, _restrict(self.kappa, cell_map))
+
+    def assemble_rhs(self, space, cell_map=None):
+        return assemble_load(space, self.f)
+
+
+@dataclass
+class ElasticityForm(Form):
+    """``a(u, v) = ∫ λ (∇·u)(∇·v) + 2 μ ε(u):ε(v)`` with body force *f* —
+    the paper's strong-scaling problem (heterogeneous linear elasticity,
+    fig. 6).
+
+    ``lam``/``mu`` are the Lamé fields; *f* defaults to gravity along the
+    last coordinate axis.
+    """
+
+    degree: int
+    lam: object = None
+    mu: object = None
+    f: object = None
+
+    def __post_init__(self):
+        self.ncomp = None  # resolved per mesh in make_space
+
+    def make_space(self, mesh: SimplexMesh) -> FunctionSpace:
+        return FunctionSpace(mesh, self.degree, mesh.dim)
+
+    def assemble_matrix(self, space, cell_map=None):
+        if space.ncomp != space.mesh.dim:
+            raise FEMError("ElasticityForm requires ncomp == dim")
+        return assemble_elasticity(space, _restrict(self.lam, cell_map),
+                                   _restrict(self.mu, cell_map))
+
+    def assemble_rhs(self, space, cell_map=None):
+        f = self.f
+        if f is None:
+            f = np.zeros(space.mesh.dim)
+            f[-1] = -9.81  # gravity, the paper's body force
+        return assemble_load(space, f)

@@ -1,0 +1,157 @@
+"""Post-processing: point evaluation, norms, errors.
+
+The benchmark harness and the examples validate discrete solutions in
+the norms the FEM literature reports: L², H¹-seminorm and the energy
+norm of the problem's bilinear form.  Point evaluation locates query
+points with a uniform-bucket grid over cell bounding boxes (robust for
+the structured and carved meshes this package generates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import FEMError
+from .assembly import _cell_geometry
+from .quadrature import simplex_quadrature
+from .space import FunctionSpace
+
+
+class PointLocator:
+    """Locate points in a simplicial mesh via a uniform bucket grid."""
+
+    def __init__(self, mesh, *, resolution: int | None = None):
+        self.mesh = mesh
+        lo = mesh.vertices.min(axis=0)
+        hi = mesh.vertices.max(axis=0)
+        span = np.maximum(hi - lo, 1e-300)
+        if resolution is None:
+            resolution = max(1, int(mesh.num_cells ** (1.0 / mesh.dim)))
+        self.lo, self.span, self.res = lo, span, resolution
+        self._buckets: dict[tuple, list[int]] = {}
+        verts = mesh.vertices[mesh.cells]            # (nc, d+1, d)
+        cmin = verts.min(axis=1)
+        cmax = verts.max(axis=1)
+        imin = self._index(cmin)
+        imax = self._index(cmax)
+        for c in range(mesh.num_cells):
+            ranges = [range(imin[c, d], imax[c, d] + 1)
+                      for d in range(mesh.dim)]
+            import itertools
+            for key in itertools.product(*ranges):
+                self._buckets.setdefault(key, []).append(c)
+
+    def _index(self, pts):
+        idx = ((pts - self.lo) / self.span * self.res).astype(np.int64)
+        return np.clip(idx, 0, self.res - 1)
+
+    def locate(self, points, *, tol: float = 1e-10) -> tuple[np.ndarray, np.ndarray]:
+        """Containing cell + barycentric coordinates for each point.
+
+        Returns ``(cells, bary)``; ``cells[i] = -1`` for points outside
+        the mesh.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        mesh = self.mesh
+        n = points.shape[0]
+        out_cell = np.full(n, -1, dtype=np.int64)
+        out_bary = np.zeros((n, mesh.dim + 1))
+        keys = self._index(points)
+        verts = mesh.vertices
+        for i in range(n):
+            for c in self._buckets.get(tuple(keys[i]), ()):
+                v = verts[mesh.cells[c]]
+                T = (v[1:] - v[0]).T
+                try:
+                    lam = np.linalg.solve(T, points[i] - v[0])
+                except np.linalg.LinAlgError:  # pragma: no cover
+                    continue
+                bary = np.concatenate([[1.0 - lam.sum()], lam])
+                if np.all(bary >= -tol):
+                    out_cell[i] = c
+                    out_bary[i] = np.clip(bary, 0.0, 1.0)
+                    break
+        return out_cell, out_bary
+
+
+def evaluate(space: FunctionSpace, u: np.ndarray, points,
+             locator: PointLocator | None = None) -> np.ndarray:
+    """Evaluate the FE function *u* at physical *points*.
+
+    Returns ``(n,)`` for scalar spaces, ``(n, ncomp)`` for vector spaces.
+    Raises for points outside the mesh.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    if u.shape != (space.num_dofs,):
+        raise FEMError(f"u must have shape ({space.num_dofs},), "
+                       f"got {u.shape}")
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if locator is None:
+        locator = PointLocator(space.mesh)
+    cells, bary = locator.locate(points)
+    if np.any(cells < 0):
+        bad = points[cells < 0][0]
+        raise FEMError(f"point {bad} lies outside the mesh")
+    ref_coords = bary[:, 1:]
+    out = np.zeros((points.shape[0], space.ncomp))
+    for i, (c, x) in enumerate(zip(cells, ref_coords)):
+        phi = space.ref.eval_basis(x[None, :])[0]      # (n_loc,)
+        dofs = space.cell_scalar_dofs[c]
+        for a in range(space.ncomp):
+            out[i, a] = phi @ u[dofs * space.ncomp + a] \
+                if space.ncomp > 1 else phi @ u[dofs]
+    return out[:, 0] if space.ncomp == 1 else out
+
+
+# ----------------------------------------------------------------------
+# Norms
+# ----------------------------------------------------------------------
+
+def l2_norm(space: FunctionSpace, u: np.ndarray) -> float:
+    """‖u‖_L² via quadrature (no mass matrix needed)."""
+    return np.sqrt(max(_quadrature_form(space, u, grad=False), 0.0))
+
+
+def h1_seminorm(space: FunctionSpace, u: np.ndarray) -> float:
+    """|u|_H¹ = ‖∇u‖_L²."""
+    return np.sqrt(max(_quadrature_form(space, u, grad=True), 0.0))
+
+
+def energy_norm(A, u: np.ndarray) -> float:
+    """√(uᵀAu) for an SPD operator/matrix."""
+    Au = A(u) if callable(A) else A @ u
+    return float(np.sqrt(max(u @ Au, 0.0)))
+
+
+def l2_error(space: FunctionSpace, u: np.ndarray, exact) -> float:
+    """‖u − Π exact‖_L² against the nodal interpolant of *exact*."""
+    return l2_norm(space, u - space.interpolate(exact))
+
+
+def _quadrature_form(space: FunctionSpace, u: np.ndarray,
+                     *, grad: bool) -> float:
+    u = np.asarray(u, dtype=np.float64)
+    if u.shape != (space.num_dofs,):
+        raise FEMError(f"u must have shape ({space.num_dofs},), "
+                       f"got {u.shape}")
+    k = space.degree
+    qpts, qw = simplex_quadrature(space.mesh.dim, 2 * k)
+    _, Jinv, detJ = _cell_geometry(space)
+    nc = space.mesh.num_cells
+    ncmp = space.ncomp
+    dofs = space.cell_scalar_dofs
+    total = 0.0
+    if grad:
+        gref = space.ref.eval_basis_grads(qpts)        # (nq, n_loc, d)
+        gphys = np.einsum("ced,qie->cqid", Jinv, gref)
+        for a in range(ncmp):
+            ua = u[dofs * ncmp + a] if ncmp > 1 else u[dofs]   # (nc, n_loc)
+            gu = np.einsum("cqid,ci->cqd", gphys, ua)
+            total += float(np.einsum("q,c,cqd,cqd->", qw, detJ, gu, gu))
+    else:
+        phi = space.ref.eval_basis(qpts)               # (nq, n_loc)
+        for a in range(ncmp):
+            ua = u[dofs * ncmp + a] if ncmp > 1 else u[dofs]
+            vu = np.einsum("qi,ci->cq", phi, ua)
+            total += float(np.einsum("q,c,cq,cq->", qw, detJ, vu, vu))
+    return total

@@ -1,0 +1,135 @@
+"""Lagrange reference elements on simplices.
+
+Pk elements are built from the equispaced lattice of barycentric nodes on
+the reference simplex, with basis coefficients obtained by inverting the
+monomial Vandermonde matrix at those nodes.  This covers every element the
+paper uses: P2/P3/P4 triangles and P2 tetrahedra (we support up to P4 in
+2D and P3 in 3D).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import product
+
+import numpy as np
+
+from ..common.errors import FEMError
+
+#: highest supported polynomial degree per dimension
+MAX_DEGREE = {2: 4, 3: 3}
+
+
+def lattice_barycentric(dim: int, degree: int) -> np.ndarray:
+    """Integer barycentric lattice coordinates of the Pk nodes.
+
+    Returns an ``(n_loc, dim + 1)`` int array, each row summing to
+    *degree*; node coordinates are ``row / degree`` in barycentric form.
+    The ordering is deterministic: vertices first, then increasing
+    lexicographic order of the remaining lattice points.
+    """
+    pts = []
+    # exponents over the dim "free" coordinates; bary[0] = degree - sum
+    for rest in product(range(degree + 1), repeat=dim):
+        if sum(rest) <= degree:
+            pts.append((degree - sum(rest),) + rest)
+    pts = np.array(pts, dtype=np.int64)
+    # vertices = rows with a single nonzero equal to degree; list them first
+    is_vertex = (pts == degree).any(axis=1)
+    vertex_rows = []
+    for v in range(dim + 1):
+        target = np.zeros(dim + 1, dtype=np.int64)
+        target[v] = degree
+        vertex_rows.append(np.flatnonzero((pts == target).all(axis=1))[0])
+    others = [i for i in range(len(pts)) if not is_vertex[i]]
+    order = vertex_rows + others
+    return pts[order]
+
+
+def _monomial_exponents(dim: int, degree: int) -> np.ndarray:
+    """Exponent multi-indices of the monomial basis of P_degree in R^dim."""
+    exps = [e for e in product(range(degree + 1), repeat=dim)
+            if sum(e) <= degree]
+    exps.sort(key=lambda e: (sum(e), e))
+    return np.array(exps, dtype=np.int64)
+
+
+def _eval_monomials(exps: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """Evaluate monomials x^e at points: returns (n_pts, n_monomials)."""
+    n_pts = pts.shape[0]
+    out = np.ones((n_pts, exps.shape[0]))
+    for j, e in enumerate(exps):
+        for d, p in enumerate(e):
+            if p:
+                out[:, j] *= pts[:, d] ** p
+    return out
+
+
+def _eval_monomial_grads(exps: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """Gradients of monomials: returns (n_pts, n_monomials, dim)."""
+    n_pts, dim = pts.shape
+    out = np.zeros((n_pts, exps.shape[0], dim))
+    for j, e in enumerate(exps):
+        for k in range(dim):
+            if e[k] == 0:
+                continue
+            term = np.full(n_pts, float(e[k]))
+            for d, p in enumerate(e):
+                pw = p - 1 if d == k else p
+                if pw:
+                    term *= pts[:, d] ** pw
+            out[:, j, k] = term
+    return out
+
+
+class ReferenceSimplex:
+    """Pk Lagrange element on the unit reference simplex.
+
+    Attributes
+    ----------
+    nodes:
+        ``(n_loc, dim)`` reference coordinates of the Lagrange nodes.
+    nodes_bary:
+        ``(n_loc, dim + 1)`` integer lattice barycentric coordinates.
+    """
+
+    def __init__(self, dim: int, degree: int):
+        if dim not in (2, 3):
+            raise FEMError(f"dim must be 2 or 3, got {dim}")
+        if not (1 <= degree <= MAX_DEGREE[dim]):
+            raise FEMError(
+                f"degree {degree} unsupported in {dim}D "
+                f"(1..{MAX_DEGREE[dim]})")
+        self.dim = dim
+        self.degree = degree
+        self.nodes_bary = lattice_barycentric(dim, degree)
+        # reference coordinates: drop the 0th barycentric coordinate
+        self.nodes = self.nodes_bary[:, 1:].astype(np.float64) / degree
+        self._exps = _monomial_exponents(dim, degree)
+        vander = _eval_monomials(self._exps, self.nodes)
+        self._coeffs = np.linalg.inv(vander)  # column j = coeffs of phi_j
+        resid = np.abs(vander @ self._coeffs - np.eye(vander.shape[0])).max()
+        if resid > 1e-8:
+            raise FEMError(  # pragma: no cover - guards future degrees
+                f"ill-conditioned Lagrange node set (residual {resid:.2e})")
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.nodes.shape[0])
+
+    def eval_basis(self, pts: np.ndarray) -> np.ndarray:
+        """Basis values: ``(n_pts, n_loc)``, entry (q, i) = phi_i(pts[q])."""
+        pts = np.atleast_2d(np.asarray(pts, dtype=np.float64))
+        return _eval_monomials(self._exps, pts) @ self._coeffs
+
+    def eval_basis_grads(self, pts: np.ndarray) -> np.ndarray:
+        """Reference gradients: ``(n_pts, n_loc, dim)``."""
+        pts = np.atleast_2d(np.asarray(pts, dtype=np.float64))
+        mono_grads = _eval_monomial_grads(self._exps, pts)
+        return np.einsum("qmd,mi->qid", mono_grads, self._coeffs)
+
+
+@lru_cache(maxsize=None)
+def reference_simplex(dim: int, degree: int) -> ReferenceSimplex:
+    """Cached accessor: reference elements are immutable and reusable."""
+    return ReferenceSimplex(dim, degree)

@@ -1,0 +1,227 @@
+"""Finite element function spaces and global dof numbering.
+
+A :class:`FunctionSpace` couples a :class:`~repro.mesh.SimplexMesh` with a
+Lagrange Pk reference element and, for vector problems (elasticity), a
+number of components.  Dofs are numbered entity-wise — vertices, then edge
+interiors, then (3D) face interiors, then cell interiors — with shared
+entities oriented canonically by global vertex ids so that neighbouring
+cells agree on shared dofs.  Vector dofs are interleaved:
+``global = scalar_dof * ncomp + component``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..common.errors import FEMError
+from ..mesh import SimplexMesh
+from .reference import reference_simplex
+
+
+class FunctionSpace:
+    """Pk Lagrange space on a simplicial mesh.
+
+    Parameters
+    ----------
+    mesh:
+        The underlying mesh.
+    degree:
+        Polynomial degree (1..4 in 2D, 1..3 in 3D).
+    ncomp:
+        Number of vector components (1 = scalar, ``mesh.dim`` = elasticity).
+    """
+
+    def __init__(self, mesh: SimplexMesh, degree: int, ncomp: int = 1):
+        if ncomp < 1:
+            raise FEMError(f"ncomp must be >= 1, got {ncomp}")
+        self.mesh = mesh
+        self.degree = int(degree)
+        self.ncomp = int(ncomp)
+        self.ref = reference_simplex(mesh.dim, self.degree)
+        self._build_layout()
+
+    # ------------------------------------------------------------------
+    def _build_layout(self) -> None:
+        mesh, k = self.mesh, self.degree
+        dim = mesh.dim
+        self.n_vertex_dofs = mesh.num_vertices
+        self.dofs_per_edge = k - 1
+        self.n_edge_dofs = mesh.edges.shape[0] * self.dofs_per_edge if k > 1 else 0
+        if dim == 3 and k >= 3:
+            # interior nodes per triangular face: C(k-1, 2)
+            self.dofs_per_face = (k - 1) * (k - 2) // 2
+            self.n_face_dofs = mesh.facets.shape[0] * self.dofs_per_face
+        else:
+            self.dofs_per_face = 0
+            self.n_face_dofs = 0
+        if dim == 2:
+            self.dofs_per_cell_interior = (k - 1) * (k - 2) // 2
+        else:
+            self.dofs_per_cell_interior = (k - 1) * (k - 2) * (k - 3) // 6
+        self.n_cell_dofs = mesh.num_cells * self.dofs_per_cell_interior
+        self.num_scalar_dofs = (self.n_vertex_dofs + self.n_edge_dofs +
+                                self.n_face_dofs + self.n_cell_dofs)
+        self._edge_offset = self.n_vertex_dofs
+        self._face_offset = self._edge_offset + self.n_edge_dofs
+        self._cell_offset = self._face_offset + self.n_face_dofs
+
+    @property
+    def num_dofs(self) -> int:
+        """Total number of (vector) degrees of freedom."""
+        return self.num_scalar_dofs * self.ncomp
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def cell_scalar_dofs(self) -> np.ndarray:
+        """Global scalar dof ids per cell, ``(nc, n_loc)``, in the
+        reference element's node order."""
+        mesh, k = self.mesh, self.degree
+        dim = mesh.dim
+        nc = mesh.num_cells
+        bary = self.ref.nodes_bary            # (n_loc, dim+1) ints
+        n_loc = bary.shape[0]
+        out = np.empty((nc, n_loc), dtype=np.int64)
+        cells = mesh.cells
+        cell_edges = mesh.cell_edges if k > 1 else None
+        nloc_v = dim + 1
+        edge_pairs = [(a, b) for a in range(nloc_v) for b in range(a + 1, nloc_v)]
+        edge_pair_index = {p: i for i, p in enumerate(edge_pairs)}
+        if dim == 3 and k >= 3:
+            cell_facets = mesh.cell_facets
+        interior_counter = 0
+        face_local_counter: dict[tuple, int] = {}
+        for ln in range(n_loc):
+            nz = np.flatnonzero(bary[ln])
+            if len(nz) == 1:
+                out[:, ln] = cells[:, nz[0]]
+            elif len(nz) == 2:
+                a, b = int(nz[0]), int(nz[1])
+                eidx = edge_pair_index[(a, b)]
+                m = int(bary[ln, b])           # steps toward local vertex b
+                ga, gb = cells[:, a], cells[:, b]
+                fwd = ga < gb                  # canonical direction a -> b
+                pos = np.where(fwd, m - 1, k - m - 1)
+                out[:, ln] = (self._edge_offset +
+                              cell_edges[:, eidx] * self.dofs_per_edge + pos)
+            elif len(nz) == 3 and dim == 3:
+                # face-interior node; with k <= 3 there is at most one per
+                # face so no orientation bookkeeping is required
+                if self.dofs_per_face != 1:  # pragma: no cover
+                    raise FEMError("3D face dofs with >1 node per face "
+                                   "require oriented face numbering")
+                a, b, c = (int(v) for v in nz)
+                opposite = ({0, 1, 2, 3} - {a, b, c}).pop()
+                fid = cell_facets[:, opposite]
+                out[:, ln] = self._face_offset + fid * self.dofs_per_face
+            else:
+                # cell-interior node (2D: len(nz)==3; 3D: len(nz)==4)
+                out[:, ln] = (self._cell_offset +
+                              np.arange(nc) * self.dofs_per_cell_interior +
+                              interior_counter)
+                interior_counter += 1
+        return out
+
+    @cached_property
+    def cell_dofs(self) -> np.ndarray:
+        """Global (vector) dof ids per cell, ``(nc, n_loc * ncomp)``,
+        ordered node-major then component (interleaved layout)."""
+        sd = self.cell_scalar_dofs
+        if self.ncomp == 1:
+            return sd
+        nc, n_loc = sd.shape
+        out = (sd[:, :, None] * self.ncomp +
+               np.arange(self.ncomp)[None, None, :])
+        return out.reshape(nc, n_loc * self.ncomp)
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def scalar_dof_coordinates(self) -> np.ndarray:
+        """Coordinates of every scalar dof, ``(num_scalar_dofs, dim)``."""
+        mesh = self.mesh
+        pts = self.ref.nodes                      # (n_loc, dim) reference
+        v = mesh.vertices[mesh.cells]             # (nc, dim+1, dim)
+        origin = v[:, 0, :]                       # (nc, dim)
+        edges = v[:, 1:, :] - v[:, :1, :]         # (nc, dim, dim)
+        # physical = origin + pts @ edges
+        phys = origin[:, None, :] + np.einsum("qd,cde->cqe", pts, edges)
+        coords = np.empty((self.num_scalar_dofs, mesh.dim))
+        coords[self.cell_scalar_dofs.ravel()] = phys.reshape(-1, mesh.dim)
+        return coords
+
+    @cached_property
+    def dof_coordinates(self) -> np.ndarray:
+        """Coordinates of every (vector) dof, ``(num_dofs, dim)``."""
+        if self.ncomp == 1:
+            return self.scalar_dof_coordinates
+        return np.repeat(self.scalar_dof_coordinates, self.ncomp, axis=0)
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def boundary_scalar_dofs(self) -> np.ndarray:
+        """Sorted scalar dofs lying on the domain boundary (entity-based)."""
+        mesh, k = self.mesh, self.degree
+        dofs = [mesh.boundary_vertices]
+        if k > 1:
+            bedges = self._boundary_edge_ids()
+            if bedges.size:
+                base = self._edge_offset + bedges * self.dofs_per_edge
+                dofs.append((base[:, None] +
+                             np.arange(self.dofs_per_edge)).ravel())
+        if mesh.dim == 3 and self.dofs_per_face:
+            bf = mesh.boundary_facet_ids
+            base = self._face_offset + bf * self.dofs_per_face
+            dofs.append((base[:, None] +
+                         np.arange(self.dofs_per_face)).ravel())
+        return np.unique(np.concatenate(dofs))
+
+    def _boundary_edge_ids(self) -> np.ndarray:
+        mesh = self.mesh
+        edges = mesh.edges
+        if mesh.dim == 2:
+            bset = mesh.boundary_facets            # edges are facets in 2D
+        else:
+            bf = mesh.boundary_facets              # (nbf, 3) faces
+            pairs = np.concatenate([bf[:, [0, 1]], bf[:, [0, 2]],
+                                    bf[:, [1, 2]]], axis=0)
+            bset = np.unique(np.sort(pairs, axis=1), axis=0)
+        key = edges[:, 0] * mesh.num_vertices + edges[:, 1]
+        bkey = bset[:, 0] * mesh.num_vertices + bset[:, 1]
+        return np.flatnonzero(np.isin(key, bkey))
+
+    def boundary_dofs(self, where=None) -> np.ndarray:
+        """Vector dofs on the boundary; optionally filtered by *where*,
+        a predicate receiving an ``(n, dim)`` coordinate array."""
+        sd = self.boundary_scalar_dofs
+        if where is not None:
+            mask = np.asarray(where(self.scalar_dof_coordinates[sd]),
+                              dtype=bool)
+            sd = sd[mask]
+        if self.ncomp == 1:
+            return sd
+        return ((sd[:, None] * self.ncomp +
+                 np.arange(self.ncomp)[None, :]).ravel())
+
+    # ------------------------------------------------------------------
+    def interpolate(self, fn) -> np.ndarray:
+        """Nodal interpolation of a callable.
+
+        For scalar spaces *fn* maps ``(n, dim)`` coordinates to ``(n,)``
+        values; for vector spaces to ``(n, ncomp)``.
+        """
+        coords = self.scalar_dof_coordinates
+        vals = np.asarray(fn(coords), dtype=np.float64)
+        if self.ncomp == 1:
+            if vals.shape != (self.num_scalar_dofs,):
+                raise FEMError(f"interpolant returned shape {vals.shape}, "
+                               f"expected ({self.num_scalar_dofs},)")
+            return vals
+        if vals.shape != (self.num_scalar_dofs, self.ncomp):
+            raise FEMError(f"interpolant returned shape {vals.shape}, "
+                           f"expected ({self.num_scalar_dofs}, {self.ncomp})")
+        return vals.reshape(-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FunctionSpace(P{self.degree}, dim={self.mesh.dim}, "
+                f"ncomp={self.ncomp}, ndofs={self.num_dofs})")

@@ -1,0 +1,103 @@
+"""Flexible GMRES (Saad 1993).
+
+The two-level preconditioner becomes *variable* as soon as the coarse
+problem is solved inexactly — e.g. by a few CG iterations on E instead
+of a factorization (attractive when E outgrows the masters, §3.4's
+closing concern).  Classical right-preconditioned GMRES assumes a fixed
+M; FGMRES stores the preconditioned basis Z_j = M_j v_j and stays exact
+under iteration-dependent preconditioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import KrylovError
+from .gmres import KrylovResult, _as_operator
+
+
+def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
+           tol: float = 1e-6, restart: int = 40, maxiter: int = 1000,
+           callback=None) -> KrylovResult:
+    """Flexible restarted GMRES; *M* may change between applications."""
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    if restart < 1:
+        raise KrylovError(f"restart must be >= 1, got {restart}")
+    A_mul = _as_operator(A, n, "A")
+    M_mul = _as_operator(M, n, "M")
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0])
+    target = tol * bnorm
+    residuals: list[float] = []
+    syncs = 0
+    total_it = 0
+
+    while True:
+        r = b - A_mul(x)
+        beta = float(np.linalg.norm(r))
+        syncs += 1
+        residuals.append(beta / bnorm)
+        if callback is not None:
+            callback(total_it, beta / bnorm)
+        if beta <= target or total_it >= maxiter:
+            break
+        m = restart
+        V = np.zeros((n, m + 1))
+        Zs = np.zeros((n, m))              # flexible: store M_j v_j
+        H = np.zeros((m + 1, m))
+        g = np.zeros(m + 1)
+        g[0] = beta
+        V[:, 0] = r / beta
+        cs, sn = np.zeros(m), np.zeros(m)
+        j_done = 0
+        for j in range(m):
+            Zs[:, j] = M_mul(V[:, j])
+            w = A_mul(Zs[:, j])
+            for i in range(j + 1):
+                H[i, j] = float(w @ V[:, i])
+                w -= H[i, j] * V[:, i]
+            syncs += 1
+            H[j + 1, j] = float(np.linalg.norm(w))
+            syncs += 1
+            if H[j + 1, j] > 0:
+                V[:, j + 1] = w / H[j + 1, j]
+            for i in range(j):
+                t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
+                H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
+                H[i, j] = t
+            denom = np.hypot(H[j, j], H[j + 1, j])
+            cs[j] = H[j, j] / denom if denom else 1.0
+            sn[j] = H[j + 1, j] / denom if denom else 0.0
+            H[j, j] = denom
+            H[j + 1, j] = 0.0
+            g[j + 1] = -sn[j] * g[j]
+            g[j] = cs[j] * g[j]
+            total_it += 1
+            j_done = j + 1
+            residuals.append(abs(g[j + 1]) / bnorm)
+            if callback is not None:
+                callback(total_it, residuals[-1])
+            if abs(g[j + 1]) <= target or total_it >= maxiter:
+                break
+        if j_done:
+            y = np.zeros(j_done)
+            for i in range(j_done - 1, -1, -1):
+                y[i] = (g[i] - H[i, i + 1:j_done] @ y[i + 1:j_done]) \
+                    / H[i, i]
+            x = x + Zs[:, :j_done] @ y
+        rtrue = float(np.linalg.norm(b - A_mul(x)))
+        if rtrue <= target:
+            residuals[-1] = rtrue / bnorm
+            break
+        if total_it >= maxiter:
+            return KrylovResult(x=x, iterations=total_it,
+                                residuals=residuals, converged=False,
+                                global_syncs=syncs)
+    return KrylovResult(x=x, iterations=total_it, residuals=residuals,
+                        converged=residuals[-1] * bnorm <= target
+                        * (1 + 1e-12),
+                        global_syncs=syncs)

@@ -1,0 +1,39 @@
+"""Simplicial mesh substrate (2D triangles / 3D tetrahedra).
+
+Replaces the paper's Gmsh + FreeFem++ meshing stack with structured
+simplicial generators, predicate carving for non-rectangular shapes, and
+uniform red refinement.
+"""
+
+from .generators import (
+    box,
+    cantilever_2d,
+    carve,
+    interval_chain,
+    rectangle,
+    tripod_3d,
+    unit_cube,
+    unit_square,
+)
+from .gmsh import read_gmsh, write_gmsh
+from .io import load_mesh, save_mesh, write_vtk
+from .mesh import SimplexMesh
+from .refine import refine_uniform
+
+__all__ = [
+    "SimplexMesh",
+    "save_mesh",
+    "load_mesh",
+    "write_vtk",
+    "read_gmsh",
+    "write_gmsh",
+    "refine_uniform",
+    "rectangle",
+    "unit_square",
+    "cantilever_2d",
+    "box",
+    "unit_cube",
+    "tripod_3d",
+    "carve",
+    "interval_chain",
+]

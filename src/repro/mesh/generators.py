@@ -1,0 +1,179 @@
+"""Mesh generators for the paper's geometries.
+
+The paper meshes a 2D cantilever and a 3D tripod (fig. 6, elasticity
+strong scaling) and the unit square/cube (diffusion weak scaling, fig. 9)
+with Gmsh.  We generate structured simplicial meshes of the same shapes:
+tensor-product grids split into triangles/tetrahedra, plus predicate-based
+carving for the non-rectangular tripod.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import MeshError
+from .mesh import SimplexMesh
+
+
+def rectangle(nx: int, ny: int, *, x0: float = 0.0, x1: float = 1.0,
+              y0: float = 0.0, y1: float = 1.0) -> SimplexMesh:
+    """Structured triangulation of ``[x0,x1] x [y0,y1]``.
+
+    ``nx * ny`` quads, each split into two positively oriented triangles
+    (alternating diagonals per quad for isotropy).
+    """
+    if nx < 1 or ny < 1:
+        raise MeshError("rectangle requires nx, ny >= 1")
+    xs = np.linspace(x0, x1, nx + 1)
+    ys = np.linspace(y0, y1, ny + 1)
+    X, Y = np.meshgrid(xs, ys, indexing="ij")
+    vertices = np.column_stack([X.ravel(), Y.ravel()])
+
+    def vid(i, j):
+        return i * (ny + 1) + j
+
+    I, J = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    I = I.ravel()
+    J = J.ravel()
+    v00 = vid(I, J)
+    v10 = vid(I + 1, J)
+    v01 = vid(I, J + 1)
+    v11 = vid(I + 1, J + 1)
+    # alternate the diagonal in a checkerboard pattern (union-jack style)
+    flip = ((I + J) % 2).astype(bool)
+    t1 = np.where(flip[:, None], np.column_stack([v00, v10, v11]),
+                  np.column_stack([v00, v10, v01]))
+    t2 = np.where(flip[:, None], np.column_stack([v00, v11, v01]),
+                  np.column_stack([v10, v11, v01]))
+    cells = np.concatenate([t1, t2], axis=0)
+    return SimplexMesh(vertices, cells)
+
+
+def unit_square(n: int) -> SimplexMesh:
+    """``n x n`` structured triangulation of the unit square (fig. 9 domain)."""
+    return rectangle(n, n)
+
+
+def cantilever_2d(n: int, *, length: float = 10.0, height: float = 1.0) -> SimplexMesh:
+    """Long thin beam clamped on the left — the paper's 2D elasticity
+    geometry (fig. 6 bottom).  ``n`` controls resolution along the height."""
+    aspect = max(1, int(round(length / height)))
+    return rectangle(aspect * n, n, x0=0.0, x1=length, y0=0.0, y1=height)
+
+
+def box(nx: int, ny: int, nz: int, *, x0=0.0, x1=1.0, y0=0.0, y1=1.0,
+        z0=0.0, z1=1.0) -> SimplexMesh:
+    """Structured tetrahedralisation of a box: each hex cell is split into
+    six tetrahedra along the Kuhn (Freudenthal) triangulation, which yields
+    a conforming, positively oriented mesh."""
+    if min(nx, ny, nz) < 1:
+        raise MeshError("box requires nx, ny, nz >= 1")
+    xs = np.linspace(x0, x1, nx + 1)
+    ys = np.linspace(y0, y1, ny + 1)
+    zs = np.linspace(z0, z1, nz + 1)
+    X, Y, Z = np.meshgrid(xs, ys, zs, indexing="ij")
+    vertices = np.column_stack([X.ravel(), Y.ravel(), Z.ravel()])
+
+    def vid(i, j, k):
+        return (i * (ny + 1) + j) * (nz + 1) + k
+
+    I, J, K = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz),
+                          indexing="ij")
+    I, J, K = I.ravel(), J.ravel(), K.ravel()
+    c = np.empty((I.shape[0], 8), dtype=np.int64)
+    # corner numbering: bit 0 -> +x, bit 1 -> +y, bit 2 -> +z
+    for corner in range(8):
+        di, dj, dk = corner & 1, (corner >> 1) & 1, (corner >> 2) & 1
+        c[:, corner] = vid(I + di, J + dj, K + dk)
+    # Kuhn triangulation: six tets, each a path 0 -> 7 through the cube,
+    # one per permutation of (x, y, z).  All have positive volume.
+    perms = [(1, 2, 4), (1, 4, 2), (2, 1, 4), (2, 4, 1), (4, 1, 2), (4, 2, 1)]
+    tets = []
+    for p in perms:
+        a = 0
+        b = a + p[0]
+        d = b + p[1]
+        e = d + p[2]  # == 7
+        tets.append(np.column_stack([c[:, a], c[:, b], c[:, d], c[:, e]]))
+    cells = np.concatenate(tets, axis=0)
+    # fix orientation (half of the Kuhn path tets come out negative)
+    mesh_cells = _orient_positive(vertices, cells)
+    return SimplexMesh(vertices, mesh_cells)
+
+
+def unit_cube(n: int) -> SimplexMesh:
+    """``n^3`` structured tetrahedralisation of the unit cube (fig. 9 3D)."""
+    return box(n, n, n)
+
+
+def _orient_positive(vertices: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    """Swap two vertices of negatively oriented simplices."""
+    v = vertices[cells]
+    edges = v[:, 1:, :] - v[:, :1, :]
+    det = np.linalg.det(edges)
+    cells = cells.copy()
+    neg = det < 0
+    cells[neg, 0], cells[neg, 1] = cells[neg, 1].copy(), cells[neg, 0].copy()
+    return cells
+
+
+def carve(mesh: SimplexMesh, keep, *, prune: bool = True) -> SimplexMesh:
+    """Keep only cells whose centroid satisfies the predicate *keep*.
+
+    *keep* receives an ``(nc, dim)`` centroid array and returns a boolean
+    mask.  Used to cut non-rectangular geometries (the tripod) out of a
+    structured grid, the way the paper's Gmsh geometries define shape.
+
+    With ``prune`` (default), cells that end up facet-disconnected from
+    the main body are dropped: stray fragments hanging off a single
+    vertex act as zero-energy hinges in elasticity and make the global
+    operator numerically singular.
+    """
+    mask = np.asarray(keep(mesh.cell_centroids()), dtype=bool)
+    ids = np.flatnonzero(mask)
+    if ids.size == 0:
+        raise MeshError("carve predicate removed every cell")
+    sub, _, _ = mesh.extract_cells(ids)
+    if prune:
+        from scipy.sparse.csgraph import connected_components
+        ncomp, labels = connected_components(sub.dual_graph,
+                                             directed=False)
+        if ncomp > 1:
+            main = int(np.argmax(np.bincount(labels)))
+            sub, _, _ = sub.extract_cells(np.flatnonzero(labels == main))
+    return SimplexMesh(sub.vertices, sub.cells)
+
+
+def tripod_3d(n: int) -> SimplexMesh:
+    """A tripod-like 3D solid (fig. 6 top): a vertical column standing on
+    three legs spread in the x-y plane.  Carved from a structured box mesh.
+
+    ``n`` controls resolution; the bounding box is [0,3] x [0,3] x [0,3].
+    """
+    base = box(3 * n, 3 * n, 3 * n, x0=0, x1=3, y0=0, y1=3, z0=0, z1=3)
+
+    def keep(c):
+        x, y, z = c[:, 0], c[:, 1], c[:, 2]
+        # central column: radius-0.6 square column around (1.5, 1.5), z >= 1
+        column = (np.abs(x - 1.5) <= 0.6) & (np.abs(y - 1.5) <= 0.6) & (z >= 1.0)
+        # three legs: slabs z < 1 radiating from the column
+        leg1 = (z < 1.0) & (np.abs(y - 1.5) <= 0.45) & (x <= 1.6)
+        ang = 2 * np.pi / 3
+        legs = leg1.copy()
+        for k in (1, 2):
+            ca, sa = np.cos(k * ang), np.sin(k * ang)
+            xr = ca * (x - 1.5) - sa * (y - 1.5)
+            yr = sa * (x - 1.5) + ca * (y - 1.5)
+            legs |= (z < 1.0) & (np.abs(yr) <= 0.45) & (xr <= 0.1)
+        return column | legs
+
+    return carve(base, keep)
+
+
+def interval_chain(n_cells: int, *, width: int = 1) -> SimplexMesh:
+    """A thin strip of ``n_cells x width`` quads split into triangles.
+
+    Handy for building the 1D-like chain decompositions used in the
+    paper's figures 3–5 (subdomains in a line, O_1 = {2}, O_2 = {1, 3}...).
+    """
+    return rectangle(n_cells, width, x1=float(n_cells), y1=float(width))

@@ -1,0 +1,152 @@
+"""Gmsh MSH 2.2 ASCII reader/writer.
+
+The paper's geometries are meshed by Gmsh; this module reads the classic
+``$MeshFormat 2.2`` ASCII files (triangles in 2D, tetrahedra in 3D) so
+externally generated meshes drop straight into the solver, and writes
+them back for visual checks in Gmsh itself.
+
+Only what the solver needs is parsed: nodes, simplex elements of the
+right dimension (element types 2 = triangle, 4 = tetrahedron) and their
+physical tags (returned as a per-cell array for coefficient assignment).
+Lower-dimensional and point elements are skipped.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..common.errors import MeshError
+from .generators import _orient_positive
+from .mesh import SimplexMesh
+
+_TRIANGLE = 2
+_TET = 4
+_NODES_PER = {_TRIANGLE: 3, _TET: 4}
+
+
+def read_gmsh(path, *, dim: int | None = None
+              ) -> tuple[SimplexMesh, np.ndarray]:
+    """Read an MSH 2.2 ASCII file.
+
+    Parameters
+    ----------
+    dim:
+        2 or 3; ``None`` picks the highest-dimensional simplices present.
+
+    Returns
+    -------
+    ``(mesh, physical_tags)`` with one tag per cell (0 if untagged).
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    sections = _split_sections(lines, path)
+
+    fmt = sections.get("MeshFormat")
+    if not fmt:
+        raise MeshError(f"{path}: missing $MeshFormat")
+    version = fmt[0].split()[0]
+    if not version.startswith("2."):
+        raise MeshError(f"{path}: unsupported MSH version {version} "
+                        "(only 2.x ASCII is handled)")
+
+    nodes_sec = sections.get("Nodes")
+    if not nodes_sec:
+        raise MeshError(f"{path}: missing $Nodes")
+    n_nodes = int(nodes_sec[0])
+    ids = np.empty(n_nodes, dtype=np.int64)
+    xyz = np.empty((n_nodes, 3))
+    for k, line in enumerate(nodes_sec[1:1 + n_nodes]):
+        parts = line.split()
+        ids[k] = int(parts[0])
+        xyz[k] = [float(v) for v in parts[1:4]]
+    id2row = {int(i): k for k, i in enumerate(ids)}
+
+    elems_sec = sections.get("Elements")
+    if not elems_sec:
+        raise MeshError(f"{path}: missing $Elements")
+    n_elems = int(elems_sec[0])
+    cells_by_type: dict[int, list] = {_TRIANGLE: [], _TET: []}
+    tags_by_type: dict[int, list] = {_TRIANGLE: [], _TET: []}
+    for line in elems_sec[1:1 + n_elems]:
+        parts = [int(v) for v in line.split()]
+        etype = parts[1]
+        if etype not in _NODES_PER:
+            continue
+        ntags = parts[2]
+        phys = parts[3] if ntags >= 1 else 0
+        conn = parts[3 + ntags:]
+        if len(conn) != _NODES_PER[etype]:
+            raise MeshError(f"{path}: element with wrong node count: "
+                            f"{line!r}")
+        cells_by_type[etype].append([id2row[c] for c in conn])
+        tags_by_type[etype].append(phys)
+
+    if dim is None:
+        dim = 3 if cells_by_type[_TET] else 2
+    etype = _TET if dim == 3 else _TRIANGLE
+    raw = cells_by_type[etype]
+    if not raw:
+        raise MeshError(f"{path}: no {dim}D simplices found")
+    cells = np.asarray(raw, dtype=np.int64)
+    tags = np.asarray(tags_by_type[etype], dtype=np.int64)
+
+    vertices = xyz[:, :dim]
+    # drop nodes not referenced by any kept cell (boundary-only nodes of
+    # a 3D file read as 2D, etc.)
+    used = np.unique(cells.ravel())
+    renum = np.full(n_nodes, -1, dtype=np.int64)
+    renum[used] = np.arange(used.size)
+    cells = renum[cells]
+    vertices = vertices[used]
+    cells = _orient_positive(vertices, cells)
+    return SimplexMesh(vertices, cells), tags
+
+
+def write_gmsh(mesh: SimplexMesh, path, *,
+               physical_tags: np.ndarray | None = None) -> None:
+    """Write an MSH 2.2 ASCII file (1-based node ids, as Gmsh expects)."""
+    path = Path(path)
+    nv, nc = mesh.num_vertices, mesh.num_cells
+    etype = _TET if mesh.dim == 3 else _TRIANGLE
+    if physical_tags is None:
+        physical_tags = np.zeros(nc, dtype=np.int64)
+    physical_tags = np.asarray(physical_tags, dtype=np.int64)
+    if physical_tags.shape != (nc,):
+        raise MeshError(f"physical_tags must have shape ({nc},)")
+    with path.open("w") as f:
+        f.write("$MeshFormat\n2.2 0 8\n$EndMeshFormat\n")
+        f.write(f"$Nodes\n{nv}\n")
+        for i, v in enumerate(mesh.vertices, start=1):
+            coords = list(v) + [0.0] * (3 - mesh.dim)
+            f.write(f"{i} {coords[0]:.17g} {coords[1]:.17g} "
+                    f"{coords[2]:.17g}\n")
+        f.write("$EndNodes\n")
+        f.write(f"$Elements\n{nc}\n")
+        for e, (cell, tag) in enumerate(zip(mesh.cells, physical_tags),
+                                        start=1):
+            conn = " ".join(str(c + 1) for c in cell)
+            f.write(f"{e} {etype} 2 {tag} {tag} {conn}\n")
+        f.write("$EndElements\n")
+
+
+def _split_sections(lines: list[str], path) -> dict[str, list[str]]:
+    sections: dict[str, list[str]] = {}
+    name = None
+    buf: list[str] = []
+    for line in lines:
+        s = line.strip()
+        if s.startswith("$End"):
+            if name is None:
+                raise MeshError(f"{path}: stray {s}")
+            sections[name] = buf
+            name, buf = None, []
+        elif s.startswith("$"):
+            name = s[1:]
+            buf = []
+        elif name is not None:
+            buf.append(s)
+    if name is not None:
+        raise MeshError(f"{path}: unterminated ${name} section")
+    return sections

@@ -1,0 +1,115 @@
+"""Mesh and solution I/O.
+
+Two formats:
+
+* a minimal native text format (``.msh.txt``) for round-tripping meshes
+  between runs and tools (header + vertex block + cell block);
+* legacy ASCII VTK (``.vtk``) export of meshes with optional point/cell
+  data — loadable in ParaView/VisIt for inspecting decompositions,
+  coefficient fields and computed solutions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..common.errors import MeshError
+from .mesh import SimplexMesh
+
+_MAGIC = "repro-simplex-mesh 1"
+
+
+def save_mesh(mesh: SimplexMesh, path) -> None:
+    """Write a mesh in the native text format."""
+    path = Path(path)
+    with path.open("w") as f:
+        f.write(f"{_MAGIC}\n")
+        f.write(f"{mesh.dim} {mesh.num_vertices} {mesh.num_cells}\n")
+        np.savetxt(f, mesh.vertices, fmt="%.17g")
+        np.savetxt(f, mesh.cells, fmt="%d")
+
+
+def load_mesh(path) -> SimplexMesh:
+    """Read a mesh written by :func:`save_mesh`."""
+    path = Path(path)
+    with path.open() as f:
+        magic = f.readline().strip()
+        if magic != _MAGIC:
+            raise MeshError(f"{path} is not a repro mesh file "
+                            f"(bad header {magic!r})")
+        dims = f.readline().split()
+        if len(dims) != 3:
+            raise MeshError(f"{path}: malformed size line")
+        dim, nv, nc = (int(x) for x in dims)
+        vertices = np.loadtxt(f, max_rows=nv).reshape(nv, dim)
+        cells = np.loadtxt(f, max_rows=nc, dtype=np.int64).reshape(
+            nc, dim + 1)
+    return SimplexMesh(vertices, cells)
+
+
+# ----------------------------------------------------------------------
+# Legacy VTK export
+# ----------------------------------------------------------------------
+
+_VTK_CELL_TYPE = {2: 5, 3: 10}          # triangle, tetrahedron
+
+
+def write_vtk(mesh: SimplexMesh, path, *, point_data: dict | None = None,
+              cell_data: dict | None = None, title: str = "repro") -> None:
+    """Export a mesh (+ named fields) as legacy ASCII VTK.
+
+    ``point_data`` maps names to per-vertex arrays (scalars ``(nv,)`` or
+    vectors ``(nv, dim)``); ``cell_data`` to per-cell scalars.
+    """
+    path = Path(path)
+    nv, nc = mesh.num_vertices, mesh.num_cells
+    with path.open("w") as f:
+        f.write("# vtk DataFile Version 3.0\n")
+        f.write(f"{title}\n")
+        f.write("ASCII\nDATASET UNSTRUCTURED_GRID\n")
+        f.write(f"POINTS {nv} double\n")
+        pts = mesh.vertices
+        if mesh.dim == 2:                       # VTK points are 3D
+            pts = np.column_stack([pts, np.zeros(nv)])
+        np.savetxt(f, pts, fmt="%.17g")
+        nloc = mesh.dim + 1
+        f.write(f"CELLS {nc} {nc * (nloc + 1)}\n")
+        np.savetxt(f, np.column_stack(
+            [np.full(nc, nloc, dtype=np.int64), mesh.cells]), fmt="%d")
+        f.write(f"CELL_TYPES {nc}\n")
+        np.savetxt(f, np.full(nc, _VTK_CELL_TYPE[mesh.dim], dtype=np.int64),
+                   fmt="%d")
+        if point_data:
+            f.write(f"POINT_DATA {nv}\n")
+            for name, arr in point_data.items():
+                arr = np.asarray(arr, dtype=np.float64)
+                if arr.shape == (nv,):
+                    f.write(f"SCALARS {name} double 1\nLOOKUP_TABLE "
+                            "default\n")
+                    np.savetxt(f, arr, fmt="%.17g")
+                elif arr.ndim == 2 and arr.shape[0] == nv:
+                    vec = arr
+                    if vec.shape[1] == 2:
+                        vec = np.column_stack([vec, np.zeros(nv)])
+                    if vec.shape[1] != 3:
+                        raise MeshError(
+                            f"point data {name!r} must have 1-3 "
+                            f"components, got {arr.shape[1]}")
+                    f.write(f"VECTORS {name} double\n")
+                    np.savetxt(f, vec, fmt="%.17g")
+                else:
+                    raise MeshError(
+                        f"point data {name!r} has shape {arr.shape}, "
+                        f"expected ({nv},) or ({nv}, k)")
+        if cell_data:
+            f.write(f"CELL_DATA {nc}\n")
+            for name, arr in cell_data.items():
+                arr = np.asarray(arr, dtype=np.float64)
+                if arr.shape != (nc,):
+                    raise MeshError(
+                        f"cell data {name!r} has shape {arr.shape}, "
+                        f"expected ({nc},)")
+                f.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+                np.savetxt(f, arr, fmt="%.17g")

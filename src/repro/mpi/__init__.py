@@ -1,0 +1,18 @@
+"""Simulated MPI substrate: thread-per-rank SPMD with metered traffic."""
+
+from .meter import Meter, RankStats, payload_bytes
+from .trace import Span, Tracer
+from .simmpi import Comm, NeighborComm, Request, run_spmd, waitany
+
+__all__ = [
+    "Comm",
+    "NeighborComm",
+    "Request",
+    "run_spmd",
+    "waitany",
+    "Meter",
+    "RankStats",
+    "payload_bytes",
+    "Tracer",
+    "Span",
+]

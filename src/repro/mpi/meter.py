@@ -1,0 +1,108 @@
+"""Traffic metering for the simulated MPI layer.
+
+Every point-to-point message and collective is recorded per rank; the
+performance model (:mod:`repro.perfmodel`) turns these counts into
+modelled times, and the cost-analysis bench (§3.3 of the paper) asserts
+the message-count/size formulas directly against them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def payload_bytes(obj) -> int:
+    """Approximate wire size of a message payload."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, complex, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_bytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_bytes(k) + payload_bytes(v) for k, v in obj.items())
+    return 64  # opaque python object: flat estimate
+
+
+@dataclass
+class RankStats:
+    """Per-rank communication counters."""
+
+    sends: int = 0
+    send_bytes: int = 0
+    recvs: int = 0
+    recv_bytes: int = 0
+    collectives: dict[str, int] = field(default_factory=dict)
+    collective_bytes: dict[str, int] = field(default_factory=dict)
+    #: number of operations that synchronise the whole communicator
+    global_syncs: int = 0
+
+    def record_collective(self, kind: str, nbytes: int, *, is_global_sync: bool) -> None:
+        self.collectives[kind] = self.collectives.get(kind, 0) + 1
+        self.collective_bytes[kind] = (self.collective_bytes.get(kind, 0)
+                                       + nbytes)
+        if is_global_sync:
+            self.global_syncs += 1
+
+
+class Meter:
+    """Thread-safe container of :class:`RankStats`, one per world rank."""
+
+    def __init__(self, world_size: int):
+        self.world_size = world_size
+        self._stats = [RankStats() for _ in range(world_size)]
+        self._lock = threading.Lock()
+        #: optional :class:`repro.mpi.trace.Tracer` for span recording
+        self.tracer = None
+
+    def stats(self, world_rank: int) -> RankStats:
+        return self._stats[world_rank]
+
+    def on_send(self, world_rank: int, nbytes: int) -> None:
+        s = self._stats[world_rank]
+        with self._lock:
+            s.sends += 1
+            s.send_bytes += nbytes
+
+    def on_recv(self, world_rank: int, nbytes: int) -> None:
+        s = self._stats[world_rank]
+        with self._lock:
+            s.recvs += 1
+            s.recv_bytes += nbytes
+
+    def on_collective(self, world_rank: int, kind: str, nbytes: int,
+                      *, is_global_sync: bool) -> None:
+        with self._lock:
+            self._stats[world_rank].record_collective(
+                kind, nbytes, is_global_sync=is_global_sync)
+
+    # ------------------------------------------------------------------
+    def total_messages(self) -> int:
+        return sum(s.sends for s in self._stats)
+
+    def total_bytes(self) -> int:
+        return sum(s.send_bytes for s in self._stats)
+
+    def total_collectives(self, kind: str | None = None) -> int:
+        if kind is None:
+            return sum(sum(s.collectives.values()) for s in self._stats)
+        return sum(s.collectives.get(kind, 0) for s in self._stats)
+
+    def max_global_syncs(self) -> int:
+        """Max over ranks — the critical-path synchronisation count."""
+        return max((s.global_syncs for s in self._stats), default=0)
+
+    def summary(self) -> dict:
+        return {
+            "messages": self.total_messages(),
+            "bytes": self.total_bytes(),
+            "collectives": self.total_collectives(),
+            "max_global_syncs": self.max_global_syncs(),
+        }

@@ -1,0 +1,490 @@
+"""A simulated MPI: thread-per-rank SPMD execution with real messaging.
+
+The paper's algorithms (the neighbour exchanges of eq. 5, the
+master–slave coarse-operator assembly of algorithms 1–2, the fused
+pipelined GMRES of §3.5) are written against message passing.  Running
+them *literally* — each rank a thread, each message a queue transfer,
+each collective a barrier rendezvous — keeps this reproduction honest:
+the communication schedule exercised here is the one the paper describes,
+and the attached :class:`~repro.mpi.meter.Meter` counts exactly the
+traffic the paper's cost analysis (§3.3) predicts.
+
+The API mirrors mpi4py's lowercase, pickle-object methods (see the
+mpi4py tutorial): ``send/recv/isend/irecv``, ``bcast``, ``gather(v)``,
+``scatter(v)``, ``allgather``, ``allreduce``, ``alltoall``, ``split``,
+plus the MPI-3 ``dist_graph_create_adjacent`` + ``ineighbor_alltoall``
+used in algorithm 1.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from functools import reduce as _functools_reduce
+
+import numpy as np
+
+from ..common.errors import CommunicatorError
+from .meter import Meter, payload_bytes
+
+#: barrier/recv timeout (seconds): a blown deadline means a deadlock bug
+_TIMEOUT = 300.0
+_POLL = 0.0005
+
+
+# ----------------------------------------------------------------------
+# Reduction ops
+# ----------------------------------------------------------------------
+
+def _op_sum(a, b):
+    return a + b
+
+
+def _op_max(a, b):
+    return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+
+
+def _op_min(a, b):
+    return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+
+
+_OPS = {"sum": _op_sum, "max": _op_max, "min": _op_min}
+
+
+def _resolve_op(op):
+    if callable(op):
+        return op
+    try:
+        return _OPS[op]
+    except KeyError:
+        raise CommunicatorError(
+            f"unknown reduction op {op!r} (expected 'sum', 'max', 'min' "
+            "or a callable)") from None
+
+
+# ----------------------------------------------------------------------
+# Error propagation between rank threads
+# ----------------------------------------------------------------------
+
+class _ErrorBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.error: tuple[int, BaseException] | None = None
+
+    def set(self, rank: int, exc: BaseException) -> None:
+        with self._lock:
+            if self.error is None:
+                self.error = (rank, exc)
+
+    def check(self) -> None:
+        if self.error is not None:
+            rank, exc = self.error
+            raise CommunicatorError(
+                f"rank {rank} failed: {exc!r}") from exc
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+class Request:
+    """Handle for a non-blocking operation."""
+
+    def wait(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def test(self) -> tuple[bool, object]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _DoneRequest(Request):
+    """Already-complete request (buffered isend, eager iallreduce)."""
+
+    def __init__(self, value=None):
+        self._value = value
+
+    def wait(self):
+        return self._value
+
+    def test(self):
+        return True, self._value
+
+
+class _RecvRequest(Request):
+    def __init__(self, comm: "Comm", source: int, tag: int,
+                 metered: bool = True):
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value = None
+        self._metered = metered
+
+    def wait(self):
+        if not self._done:
+            self._value = self._comm._mailbox_get(
+                self._source, self._tag, metered=self._metered)
+            self._done = True
+        return self._value
+
+    def test(self):
+        if self._done:
+            return True, self._value
+        got, value = self._comm._mailbox_poll(
+            self._source, self._tag, metered=self._metered)
+        if got:
+            self._value = value
+            self._done = True
+        return self._done, self._value
+
+
+def waitany(requests: list[Request]) -> tuple[int, object]:
+    """Block until one of *requests* completes; returns ``(index, value)``.
+
+    Completed requests must be removed/ignored by the caller (mirrors
+    ``MPI_Waitany`` with inactive handles): a request already completed by
+    an earlier :func:`waitany` is not returned twice if the caller marks
+    it — here we simply return the first incomplete-turned-complete or
+    already-complete request and leave bookkeeping to the caller, which in
+    algorithms 1–2 tracks indices explicitly.
+    """
+    if not requests:
+        raise CommunicatorError("waitany on empty request list")
+    deadline = time.monotonic() + _TIMEOUT
+    while True:
+        for i, rq in enumerate(requests):
+            done, value = rq.test()
+            if done:
+                return i, value
+        if time.monotonic() > deadline:  # pragma: no cover - deadlock guard
+            raise CommunicatorError("waitany timed out (deadlock?)")
+        time.sleep(_POLL)
+
+
+# ----------------------------------------------------------------------
+# Communicator internals
+# ----------------------------------------------------------------------
+
+class _Context:
+    """State shared by every rank of one communicator."""
+
+    def __init__(self, world_ranks: tuple[int, ...], meter: Meter,
+                 error_box: _ErrorBox, *, is_world: bool):
+        self.world_ranks = world_ranks
+        self.size = len(world_ranks)
+        self.meter = meter
+        self.error_box = error_box
+        self.is_world = is_world
+        self.barrier = threading.Barrier(self.size)
+        self.slots: list = [None] * self.size
+        self.lock = threading.Lock()
+        self.mailboxes: dict[tuple[int, int, int], queue.SimpleQueue] = {}
+        self.split_cache: dict = {}
+
+
+class Comm:
+    """One rank's handle on a communicator (the SPMD-visible object)."""
+
+    def __init__(self, ctx: _Context, rank: int):
+        self._ctx = ctx
+        self.rank = rank
+        self.size = ctx.size
+        self._split_count = 0
+
+    # -- identity ------------------------------------------------------
+    @property
+    def world_rank(self) -> int:
+        """This rank's id in the world communicator (for metering)."""
+        return self._ctx.world_ranks[self.rank]
+
+    @property
+    def meter(self) -> Meter:
+        return self._ctx.meter
+
+    def _check_rank(self, r: int, what: str) -> None:
+        if not (0 <= r < self.size):
+            raise CommunicatorError(
+                f"{what} {r} out of range for communicator of size {self.size}")
+
+    # -- point-to-point --------------------------------------------------
+    def _mailbox(self, src: int, dst: int, tag: int) -> queue.SimpleQueue:
+        key = (src, dst, tag)
+        ctx = self._ctx
+        with ctx.lock:
+            q = ctx.mailboxes.get(key)
+            if q is None:
+                q = ctx.mailboxes[key] = queue.SimpleQueue()
+            return q
+
+    def send(self, obj, dest: int, tag: int = 0, *,
+             _metered: bool = True) -> None:
+        """Blocking (buffered) send."""
+        self._check_rank(dest, "dest")
+        if _metered:
+            self.meter.on_send(self.world_rank, payload_bytes(obj))
+        self._mailbox(self.rank, dest, tag).put(obj)
+
+    def isend(self, obj, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send (buffered: completes immediately)."""
+        self.send(obj, dest, tag)
+        return _DoneRequest()
+
+    def _mailbox_get(self, source: int, tag: int, *, metered: bool = True):
+        q = self._mailbox(source, self.rank, tag)
+        deadline = time.monotonic() + _TIMEOUT
+        while True:
+            self._ctx.error_box.check()
+            try:
+                obj = q.get(timeout=0.05)
+                if metered:
+                    self.meter.on_recv(self.world_rank, payload_bytes(obj))
+                return obj
+            except queue.Empty:
+                if time.monotonic() > deadline:  # pragma: no cover
+                    raise CommunicatorError(
+                        f"recv(source={source}, tag={tag}) timed out on rank "
+                        f"{self.rank} (deadlock?)") from None
+
+    def _mailbox_poll(self, source: int, tag: int, *, metered: bool = True):
+        self._ctx.error_box.check()
+        q = self._mailbox(source, self.rank, tag)
+        try:
+            obj = q.get_nowait()
+        except queue.Empty:
+            return False, None
+        if metered:
+            self.meter.on_recv(self.world_rank, payload_bytes(obj))
+        return True, obj
+
+    def recv(self, source: int, tag: int = 0):
+        """Blocking receive from *source*."""
+        self._check_rank(source, "source")
+        return self._mailbox_get(source, tag)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive."""
+        self._check_rank(source, "source")
+        return _RecvRequest(self, source, tag)
+
+    # -- collectives -----------------------------------------------------
+    def _barrier_wait(self) -> None:
+        self._ctx.error_box.check()
+        try:
+            self._ctx.barrier.wait(timeout=_TIMEOUT)
+        except threading.BrokenBarrierError:  # pragma: no cover
+            self._ctx.error_box.check()
+            raise CommunicatorError("barrier broken (a rank died?)") from None
+
+    def _exchange(self, value):
+        """All ranks deposit *value*; returns the full slot list (shared,
+        read-only by convention).  Two barriers protect slot reuse."""
+        ctx = self._ctx
+        ctx.slots[self.rank] = value
+        self._barrier_wait()
+        snapshot = list(ctx.slots)
+        self._barrier_wait()
+        return snapshot
+
+    def _record(self, kind: str, nbytes: int) -> None:
+        self.meter.on_collective(self.world_rank, kind, nbytes,
+                                 is_global_sync=self._ctx.is_world)
+
+    def barrier(self) -> None:
+        self._record("barrier", 0)
+        self._barrier_wait()
+
+    def bcast(self, obj, root: int = 0):
+        self._check_rank(root, "root")
+        self._record("bcast", payload_bytes(obj) if self.rank == root else 0)
+        slots = self._exchange(obj if self.rank == root else None)
+        return slots[root]
+
+    def gather(self, obj, root: int = 0, *, kind: str = "gather"):
+        """Gather objects to *root*; returns the list on root, None elsewhere."""
+        self._check_rank(root, "root")
+        self._record(kind, payload_bytes(obj))
+        slots = self._exchange(obj)
+        return slots if self.rank == root else None
+
+    def gatherv(self, obj, root: int = 0):
+        """Variable-count gather (metered separately: scales as O(N))."""
+        return self.gather(obj, root, kind="gatherv")
+
+    def scatter(self, objs, root: int = 0, *, kind: str = "scatter"):
+        self._check_rank(root, "root")
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommunicatorError(
+                    f"scatter root must pass {self.size} items")
+            self._record(kind, payload_bytes(objs))
+        else:
+            self._record(kind, 0)
+        slots = self._exchange(objs if self.rank == root else None)
+        return slots[root][self.rank]
+
+    def scatterv(self, objs, root: int = 0):
+        return self.scatter(objs, root, kind="scatterv")
+
+    def allgather(self, obj):
+        self._record("allgather", payload_bytes(obj))
+        return self._exchange(obj)
+
+    def allgatherv(self, obj):
+        self._record("allgatherv", payload_bytes(obj))
+        return self._exchange(obj)
+
+    def allreduce(self, obj, op="sum"):
+        fn = _resolve_op(op)
+        self._record("allreduce", payload_bytes(obj))
+        slots = self._exchange(obj)
+        return _functools_reduce(fn, slots)
+
+    def iallreduce(self, obj, op="sum") -> Request:
+        """Non-blocking allreduce.
+
+        Executed eagerly at the rendezvous (all ranks of this communicator
+        still reach the call site, as in algorithm §3.5 where every master
+        posts it before the coarse solve); the result is delivered through
+        the returned request, and the meter records it as overlappable.
+        """
+        fn = _resolve_op(op)
+        self._record("iallreduce", payload_bytes(obj))
+        slots = self._exchange(obj)
+        return _DoneRequest(_functools_reduce(fn, slots))
+
+    def reduce(self, obj, root: int = 0, op="sum"):
+        fn = _resolve_op(op)
+        self._check_rank(root, "root")
+        self._record("reduce", payload_bytes(obj))
+        slots = self._exchange(obj)
+        return _functools_reduce(fn, slots) if self.rank == root else None
+
+    def alltoall(self, objs):
+        if objs is None or len(objs) != self.size:
+            raise CommunicatorError(f"alltoall needs {self.size} items")
+        self._record("alltoall", payload_bytes(objs))
+        slots = self._exchange(objs)
+        return [slots[src][self.rank] for src in range(self.size)]
+
+    # -- communicator management ----------------------------------------
+    def split(self, color, key: int | None = None) -> "Comm | None":
+        """Split into sub-communicators by *color*; ``None`` color returns
+        ``None`` (the MPI_COMM_NULL of the paper's slave-side masterComm)."""
+        self._split_count += 1
+        gen = self._split_count
+        if key is None:
+            key = self.rank
+        self._record("split", 0)
+        infos = self._exchange((color, key, self.rank))
+        if color is None:
+            return None
+        members = sorted((k, r) for c, k, r in infos if c == color)
+        ranks = [r for _, r in members]
+        new_rank = ranks.index(self.rank)
+        ctx = self._ctx
+        cache_key = (gen, color)
+        with ctx.lock:
+            sub = ctx.split_cache.get(cache_key)
+            if sub is None:
+                sub = _Context(
+                    tuple(ctx.world_ranks[r] for r in ranks),
+                    ctx.meter, ctx.error_box, is_world=False)
+                ctx.split_cache[cache_key] = sub
+        return Comm(sub, new_rank)
+
+    def dist_graph_create_adjacent(self, neighbors) -> "NeighborComm":
+        """Attach a distributed-graph topology (MPI-3) to this communicator."""
+        neighbors = [int(x) for x in neighbors]
+        for nb in neighbors:
+            self._check_rank(nb, "neighbor")
+        return NeighborComm(self, neighbors)
+
+
+class NeighborComm:
+    """Communicator with distributed-graph topology for neighbourhood
+    collectives (``MPI_Dist_graph_create_adjacent`` in algorithm 1)."""
+
+    def __init__(self, comm: Comm, neighbors: list[int]):
+        self.comm = comm
+        self.neighbors = list(neighbors)
+
+    def ineighbor_alltoall(self, values, tag: int = 7001) -> Request:
+        """Exchange one value with each neighbour; request yields the list
+        of received values in neighbour order."""
+        if len(values) != len(self.neighbors):
+            raise CommunicatorError(
+                f"ineighbor_alltoall needs {len(self.neighbors)} values")
+        comm = self.comm
+        # one neighbourhood collective, not |O_i| point-to-point
+        # messages: internal transfers bypass the p2p meter
+        comm._record("ineighbor_alltoall", payload_bytes(values))
+        for nb, v in zip(self.neighbors, values):
+            comm.send(v, nb, tag, _metered=False)
+        reqs = [_RecvRequest(comm, nb, tag, metered=False)
+                for nb in self.neighbors]
+
+        class _Agg(Request):
+            def __init__(self, reqs):
+                self._reqs = reqs
+
+            def wait(self):
+                return [r.wait() for r in self._reqs]
+
+            def test(self):
+                vals = []
+                for r in self._reqs:
+                    done, v = r.test()
+                    if not done:
+                        return False, None
+                    vals.append(v)
+                return True, vals
+
+        return _Agg(reqs)
+
+    def neighbor_alltoall(self, values, tag: int = 7001):
+        return self.ineighbor_alltoall(values, tag).wait()
+
+
+# ----------------------------------------------------------------------
+# SPMD driver
+# ----------------------------------------------------------------------
+
+def run_spmd(nranks: int, fn, *args, meter: Meter | None = None,
+             **kwargs) -> list:
+    """Run ``fn(comm, *args, **kwargs)`` on *nranks* simulated ranks.
+
+    Each rank executes in its own thread against a shared world
+    communicator.  Returns the list of per-rank return values.  The first
+    rank failure is re-raised (other ranks are unblocked through the
+    shared error box).
+    """
+    if nranks < 1:
+        raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
+    if meter is None:
+        meter = Meter(nranks)
+    error_box = _ErrorBox()
+    ctx = _Context(tuple(range(nranks)), meter, error_box, is_world=True)
+    results: list = [None] * nranks
+
+    def worker(rank: int):
+        comm = Comm(ctx, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must unblock peers
+            error_box.set(rank, exc)
+            ctx.barrier.abort()
+
+    threads = [threading.Thread(target=worker, args=(r,), daemon=True)
+               for r in range(nranks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=_TIMEOUT)
+        if t.is_alive():  # pragma: no cover - deadlock guard
+            error_box.set(-1, TimeoutError("rank thread failed to join"))
+            ctx.barrier.abort()
+    if error_box.error is not None:
+        rank, exc = error_box.error
+        raise exc
+    return results

@@ -1,0 +1,96 @@
+"""Per-rank execution tracing for SPMD runs.
+
+A :class:`Tracer` attached to the :class:`~repro.mpi.meter.Meter`
+records labelled time spans per rank (local solves, exchanges, coarse
+corrections…), and renders them as an ASCII Gantt chart — the poor
+man's Vampir for inspecting what the fused pipeline of §3.5 actually
+overlaps.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects labelled spans per world rank."""
+
+    world_size: int
+    spans: list[list[Span]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.spans:
+            self.spans = [[] for _ in range(self.world_size)]
+        self._t0 = time.perf_counter()
+
+    @contextmanager
+    def span(self, rank: int, label: str):
+        start = time.perf_counter() - self._t0
+        try:
+            yield
+        finally:
+            end = time.perf_counter() - self._t0
+            self.spans[rank].append(Span(label, start, end))
+
+    # ------------------------------------------------------------------
+    def totals(self, rank: int) -> dict[str, float]:
+        """Accumulated seconds per label on one rank."""
+        out: dict[str, float] = {}
+        for s in self.spans[rank]:
+            out[s.label] = out.get(s.label, 0.0) + s.duration
+        return out
+
+    def summary(self) -> dict[str, float]:
+        """Per-label totals, max over ranks (the critical path view)."""
+        out: dict[str, float] = {}
+        for r in range(self.world_size):
+            for label, secs in self.totals(r).items():
+                out[label] = max(out.get(label, 0.0), secs)
+        return out
+
+    def gantt(self, *, width: int = 78, max_ranks: int = 16) -> str:
+        """ASCII Gantt chart: one row per rank, distinct glyph per label."""
+        all_spans = [s for row in self.spans for s in row]
+        if not all_spans:
+            return "(no spans recorded)"
+        t_end = max(s.end for s in all_spans)
+        t_begin = min(s.start for s in all_spans)
+        horizon = max(t_end - t_begin, 1e-12)
+        labels = []
+        for row in self.spans:
+            for s in row:
+                if s.label not in labels:
+                    labels.append(s.label)
+        glyphs = "#*+o=%@&x~"
+        glyph = {lab: glyphs[i % len(glyphs)]
+                 for i, lab in enumerate(labels)}
+        lines = []
+        for r, row in enumerate(self.spans[:max_ranks]):
+            chars = [" "] * width
+            for s in row:
+                c0 = int((s.start - t_begin) / horizon * (width - 1))
+                c1 = max(c0, int((s.end - t_begin) / horizon * (width - 1)))
+                for c in range(c0, c1 + 1):
+                    chars[c] = glyph[s.label]
+            lines.append(f"rank {r:3d} |" + "".join(chars) + "|")
+        if self.world_size > max_ranks:
+            lines.append(f"... ({self.world_size - max_ranks} more ranks)")
+        legend = "   ".join(f"[{glyph[lab]}] {lab}" for lab in labels)
+        lines.append("          0" + " " * (width - 12) +
+                     f"{horizon * 1e3:.1f} ms")
+        lines.append("  " + legend)
+        return "\n".join(lines)

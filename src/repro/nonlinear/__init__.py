@@ -1,0 +1,5 @@
+"""Nonlinear extensions (the paper's conclusion/outlook)."""
+
+from .picard import NonlinearReport, PicardSolver
+
+__all__ = ["PicardSolver", "NonlinearReport"]

@@ -1,0 +1,47 @@
+"""Graph/mesh partitioning substrate (the paper's METIS/SCOTCH role)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import PartitionError
+from ..mesh import SimplexMesh
+from .kway import partition_graph, partition_rcb
+from .metrics import edge_cut, imbalance, neighbour_counts, part_weights, parts_connected
+from .kway import enforce_connected
+from .multilevel import multilevel_bisect
+from .spectral import fiedler_vector, partition_spectral
+
+
+def partition_mesh(mesh: SimplexMesh, nparts: int, *, method: str = "multilevel",
+                   seed: int = 0) -> np.ndarray:
+    """Partition a mesh's cells into *nparts* subdomains.
+
+    ``method`` is ``"multilevel"`` (METIS-like, on the dual graph) or
+    ``"rcb"`` (recursive coordinate bisection of cell centroids).
+    Returns a per-cell part array.
+    """
+    if method == "multilevel":
+        return partition_graph(mesh.dual_graph, nparts, seed=seed)
+    if method == "rcb":
+        return partition_rcb(mesh.cell_centroids(), nparts)
+    if method == "spectral":
+        return partition_spectral(mesh.dual_graph, nparts, seed=seed)
+    raise PartitionError(f"unknown partition method {method!r} "
+                         "(expected 'multilevel', 'rcb' or 'spectral')")
+
+
+__all__ = [
+    "partition_mesh",
+    "partition_spectral",
+    "fiedler_vector",
+    "enforce_connected",
+    "partition_graph",
+    "partition_rcb",
+    "multilevel_bisect",
+    "edge_cut",
+    "imbalance",
+    "part_weights",
+    "parts_connected",
+    "neighbour_counts",
+]

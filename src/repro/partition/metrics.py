@@ -1,0 +1,63 @@
+"""Partition quality metrics: balance, edge cut, connectivity.
+
+These are the quantities a METIS user checks; the test suite asserts them
+and the benchmark harness reports them (they drive the coarse-operator
+sparsity |O_i| of figure 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+
+def part_weights(part: np.ndarray, vwgt: np.ndarray | None = None,
+                 nparts: int | None = None) -> np.ndarray:
+    """Total vertex weight per part."""
+    part = np.asarray(part)
+    if nparts is None:
+        nparts = int(part.max()) + 1
+    if vwgt is None:
+        vwgt = np.ones(part.shape[0])
+    w = np.zeros(nparts)
+    np.add.at(w, part, vwgt)
+    return w
+
+
+def imbalance(part: np.ndarray, vwgt: np.ndarray | None = None,
+              nparts: int | None = None) -> float:
+    """max(part weight) / mean(part weight) − 1; 0 = perfect balance."""
+    w = part_weights(part, vwgt, nparts)
+    return float(w.max() / w.mean() - 1.0)
+
+
+def edge_cut(adj: sp.spmatrix, part: np.ndarray) -> float:
+    """Total weight of edges whose endpoints lie in different parts."""
+    coo = adj.tocoo()
+    mask = part[coo.row] != part[coo.col]
+    return float(coo.data[mask].sum()) / 2.0
+
+
+def parts_connected(adj: sp.spmatrix, part: np.ndarray) -> bool:
+    """True iff the induced subgraph of every part is connected."""
+    adj = adj.tocsr()
+    for p in np.unique(part):
+        ids = np.flatnonzero(part == p)
+        sub = adj[ids][:, ids]
+        ncomp, _ = connected_components(sub, directed=False)
+        if ncomp > 1:
+            return False
+    return True
+
+
+def neighbour_counts(adj: sp.spmatrix, part: np.ndarray) -> np.ndarray:
+    """Number of distinct neighbouring parts per part (graph-level |O_i|)."""
+    coo = adj.tocoo()
+    pi, pj = part[coo.row], part[coo.col]
+    cross = pi != pj
+    pairs = np.unique(np.column_stack([pi[cross], pj[cross]]), axis=0)
+    nparts = int(part.max()) + 1
+    counts = np.zeros(nparts, dtype=np.int64)
+    np.add.at(counts, pairs[:, 0], 1)
+    return counts

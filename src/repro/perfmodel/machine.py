@@ -1,0 +1,82 @@
+"""α–β machine model of a Curie-like cluster.
+
+Converts metered communication (message counts/bytes from
+:class:`repro.mpi.Meter`) and measured per-subdomain compute into modelled
+parallel times.  The collective-cost formulas encode the paper's §3.2
+observation: fixed-count collectives (gather/scatter/allreduce with
+uniform ν) cost O(log N) latency terms, while variable-count ones
+(gatherv) serialise at the root and cost O(N).
+
+Absolute constants are calibrated to the Curie generation (Sandy Bridge,
+InfiniBand QDR); only *shape* conclusions — speedup, efficiency,
+crossovers — are meaningful on this substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: collectives whose latency scales with log₂(P) (tree algorithms)
+_LOG_COLLECTIVES = {"bcast", "gather", "scatter", "allgather", "allreduce",
+                    "iallreduce", "reduce", "barrier", "alltoall",
+                    "ineighbor_alltoall"}
+#: variable-count collectives: the root touches every rank — O(P)
+_LINEAR_COLLECTIVES = {"gatherv", "scatterv", "allgatherv"}
+
+
+@dataclass
+class MachineModel:
+    """A homogeneous cluster: per-core flop rate + α–β network."""
+
+    #: sustained per-core flop rate (Sandy Bridge @ 2.7 GHz, AVX)
+    flops: float = 10.0e9
+    #: point-to-point latency (InfiniBand QDR)
+    latency: float = 1.5e-6
+    #: inverse bandwidth, seconds per byte (≈ 3 GB/s effective per link)
+    inv_bandwidth: float = 1.0 / 3.0e9
+
+    def p2p(self, nbytes: float, messages: int = 1) -> float:
+        """Time for point-to-point traffic."""
+        return messages * self.latency + nbytes * self.inv_bandwidth
+
+    def collective(self, kind: str, nbytes: float, nranks: int) -> float:
+        """Time of one collective of *kind* moving *nbytes* per rank."""
+        if nranks <= 1:
+            return 0.0
+        if kind in _LINEAR_COLLECTIVES:
+            return nranks * self.latency + nbytes * self.inv_bandwidth
+        if kind in _LOG_COLLECTIVES:
+            lg = np.log2(nranks)
+            return lg * (self.latency + nbytes * self.inv_bandwidth)
+        return self.latency + nbytes * self.inv_bandwidth
+
+    def compute(self, flop_count: float) -> float:
+        return flop_count / self.flops
+
+    # ------------------------------------------------------------------
+    def model_rank_comm(self, stats) -> float:
+        """Modelled communication seconds for one rank's
+        :class:`~repro.mpi.meter.RankStats`."""
+        t = stats.sends * self.latency + stats.send_bytes * self.inv_bandwidth
+        for kind, count in stats.collectives.items():
+            nbytes = stats.collective_bytes.get(kind, 0)
+            avg = nbytes / max(count, 1)
+            # communicator size is unknown per call; use a conservative
+            # world-size bound stored by the caller via `default_ranks`
+            t += count * self.collective(kind, avg, self.default_ranks)
+        return t
+
+    default_ranks: int = 2
+
+    def model_meter(self, meter, nranks: int | None = None) -> float:
+        """Critical-path communication estimate: max over ranks."""
+        if nranks is not None:
+            self.default_ranks = nranks
+        return max(self.model_rank_comm(meter.stats(r))
+                   for r in range(meter.world_size))
+
+
+#: the machine of the paper's experiments
+CURIE = MachineModel()

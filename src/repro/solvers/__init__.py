@@ -1,0 +1,29 @@
+"""Direct-solver substrate (the paper's MUMPS/PARDISO/PaStiX/WSMP role)."""
+
+from .distributed import DistributedCholesky
+from .ldl import SparseLDL, elimination_tree
+from .local import (
+    BACKENDS,
+    BandCholeskyFactorization,
+    DenseFactorization,
+    Factorization,
+    LDLFactorization,
+    SuperLUFactorization,
+    factorize,
+)
+from .orderings import bandwidth, reverse_cuthill_mckee
+
+__all__ = [
+    "factorize",
+    "Factorization",
+    "SuperLUFactorization",
+    "BandCholeskyFactorization",
+    "LDLFactorization",
+    "DenseFactorization",
+    "BACKENDS",
+    "SparseLDL",
+    "elimination_tree",
+    "DistributedCholesky",
+    "reverse_cuthill_mckee",
+    "bandwidth",
+]

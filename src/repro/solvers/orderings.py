@@ -1,0 +1,75 @@
+"""Fill-reducing orderings for sparse factorizations.
+
+The paper leans on MUMPS/PARDISO/PaStiX, which bring their own orderings;
+our band-Cholesky backend uses a from-scratch reverse Cuthill–McKee to
+compress the envelope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def reverse_cuthill_mckee(A: sp.spmatrix) -> np.ndarray:
+    """RCM permutation of a symmetric sparsity pattern.
+
+    BFS from a pseudo-peripheral vertex, visiting neighbours in order of
+    increasing degree, then reversed.  Returns ``perm`` such that
+    ``A[perm][:, perm]`` has a small bandwidth.
+    """
+    A = A.tocsr()
+    n = A.shape[0]
+    indptr, indices = A.indptr, A.indices
+    degree = np.diff(indptr)
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    while len(order) < n:
+        # start the next component at its minimum-degree unvisited vertex
+        remaining = np.flatnonzero(~visited)
+        start = remaining[int(np.argmin(degree[remaining]))]
+        start = _pseudo_peripheral(indptr, indices, degree, start, visited)
+        queue = [int(start)]
+        visited[start] = True
+        while queue:
+            v = queue.pop(0)
+            order.append(v)
+            nbrs = indices[indptr[v]:indptr[v + 1]]
+            nbrs = nbrs[~visited[nbrs]]
+            nbrs = nbrs[np.argsort(degree[nbrs], kind="stable")]
+            for u in nbrs:
+                if not visited[u]:
+                    visited[u] = True
+                    queue.append(int(u))
+    return np.asarray(order[::-1], dtype=np.int64)
+
+
+def _pseudo_peripheral(indptr, indices, degree, start, visited_mask):
+    """Find a far-away low-degree start vertex within one component."""
+    for _ in range(2):
+        dist = _bfs(indptr, indices, start, visited_mask)
+        far = np.flatnonzero(dist == dist.max())
+        start = far[int(np.argmin(degree[far]))]
+    return start
+
+
+def _bfs(indptr, indices, source, visited_mask):
+    n = len(indptr) - 1
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    queue = [int(source)]
+    while queue:
+        v = queue.pop(0)
+        for u in indices[indptr[v]:indptr[v + 1]]:
+            if dist[u] == -1 and not visited_mask[u]:
+                dist[u] = dist[v] + 1
+                queue.append(int(u))
+    return np.where(dist < 0, 0, dist)
+
+
+def bandwidth(A: sp.spmatrix) -> int:
+    """Half-bandwidth max |i - j| over nonzeros."""
+    coo = A.tocoo()
+    if coo.nnz == 0:
+        return 0
+    return int(np.max(np.abs(coo.row - coo.col)))

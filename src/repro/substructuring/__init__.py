@@ -1,0 +1,5 @@
+"""Non-overlapping (substructuring) methods — the paper's §3.1 extension."""
+
+from .schur import SchurComplementSolver, SchurSubdomain
+
+__all__ = ["SchurComplementSolver", "SchurSubdomain"]

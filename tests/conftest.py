@@ -1,0 +1,53 @@
+"""Shared fixtures: small meshes/problems reused across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dd import Decomposition, Problem
+from repro.fem import channels_and_inclusions, layered_elasticity
+from repro.fem.forms import DiffusionForm, ElasticityForm
+from repro.mesh import rectangle, unit_cube, unit_square
+from repro.partition import partition_mesh
+
+
+@pytest.fixture(scope="session")
+def square16():
+    return unit_square(16)
+
+
+@pytest.fixture(scope="session")
+def cube4():
+    return unit_cube(4)
+
+
+@pytest.fixture(scope="session")
+def diffusion_problem(square16):
+    kappa = channels_and_inclusions(square16, seed=3)
+    return Problem(square16, DiffusionForm(degree=2, kappa=kappa))
+
+
+@pytest.fixture(scope="session")
+def diffusion_decomposition(diffusion_problem):
+    part = partition_mesh(diffusion_problem.mesh, 6, seed=1)
+    return Decomposition(diffusion_problem, part, delta=2)
+
+
+@pytest.fixture(scope="session")
+def elasticity_problem():
+    mesh = rectangle(16, 4, x1=4.0)
+    lam, mu = layered_elasticity(mesh)
+    return Problem(mesh, ElasticityForm(degree=2, lam=lam, mu=mu),
+                   dirichlet=lambda x: x[:, 0] < 1e-9)
+
+
+@pytest.fixture(scope="session")
+def elasticity_decomposition(elasticity_problem):
+    part = partition_mesh(elasticity_problem.mesh, 4, seed=0)
+    return Decomposition(elasticity_problem, part, delta=1)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,128 @@
+"""Tests for the coarse operator: E = ZᵀAZ, sparsity, election, correction."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DecompositionError
+from repro.core import (
+    CoarseOperator,
+    DeflationSpace,
+    assemble_coarse_matrix,
+    coarse_blocks,
+    compute_deflation,
+    elect_masters_nonuniform,
+    elect_masters_uniform,
+    split_ranges,
+)
+
+
+@pytest.fixture(scope="module")
+def space(diffusion_decomposition):
+    dec = diffusion_decomposition
+    Ws = [compute_deflation(s, nev=4, seed=s.index).W
+          for s in dec.subdomains]
+    return DeflationSpace(dec, Ws)
+
+
+class TestCoarseAssembly:
+    def test_e_equals_ztaz(self, space):
+        dec = space.dec
+        A = dec.problem.matrix()
+        Z = space.explicit_z()
+        E_ref = (Z.T @ A @ Z).toarray()
+        E = assemble_coarse_matrix(space).toarray()
+        assert np.abs(E - E_ref).max() <= 1e-12 * np.abs(E_ref).max()
+
+    def test_e_symmetric(self, space):
+        E = assemble_coarse_matrix(space).toarray()
+        assert np.allclose(E, E.T, atol=1e-12 * abs(E).max())
+
+    def test_block_transpose_symmetry(self, space):
+        blocks = coarse_blocks(space)
+        for (i, j), blk in blocks.items():
+            if i < j:
+                assert np.allclose(blk, blocks[(j, i)].T,
+                                   atol=1e-10 * max(abs(blk).max(), 1e-30))
+
+    def test_sparsity_matches_connectivity(self, space):
+        """Block (i, j) exists iff j ∈ Ō_i (fig. 4)."""
+        blocks = coarse_blocks(space)
+        dec = space.dec
+        for s in dec.subdomains:
+            expected = set(s.neighbors) | {s.index}
+            got = {j for (i, j) in blocks if i == s.index}
+            assert got == expected
+
+    def test_e_spd(self, space):
+        E = assemble_coarse_matrix(space).toarray()
+        w = np.linalg.eigvalsh(E)
+        assert w.min() > 0
+
+
+class TestMasterElection:
+    def test_uniform(self):
+        assert elect_masters_uniform(16, 4).tolist() == [0, 4, 8, 12]
+
+    def test_nonuniform_matches_paper_figure5(self):
+        """N = 16, P = 4 → masters at ranks 0, 2, 5, 8 (fig. 5 right)."""
+        assert elect_masters_nonuniform(16, 4).tolist() == [0, 2, 5, 8]
+
+    def test_nonuniform_balances_upper_triangle(self):
+        """Each master's quadrilateral of upper-triangle entries should
+        hold roughly the same count."""
+        N, P = 64, 4
+        masters = elect_masters_nonuniform(N, P)
+        bounds = np.concatenate([masters, [N]])
+        counts = []
+        for p in range(P):
+            lo, hi = bounds[p], bounds[p + 1]
+            # rows lo..hi of the upper triangle of an N x N matrix
+            counts.append(sum(N - r for r in range(lo, hi)))
+        counts = np.array(counts, dtype=float)
+        assert counts.max() / counts.min() < 1.7
+
+    def test_uniform_is_worse_balanced_for_triangle(self):
+        N, P = 64, 4
+        for elect, expect_ratio in ((elect_masters_uniform, 2.0),):
+            masters = elect(N, P)
+            bounds = np.concatenate([masters, [N]])
+            counts = [sum(N - r for r in range(bounds[p], bounds[p + 1]))
+                      for p in range(P)]
+            assert max(counts) / min(counts) > expect_ratio
+
+    def test_split_ranges_cover(self):
+        masters = elect_masters_nonuniform(16, 4)
+        ranges = split_ranges(masters, 16)
+        allr = np.concatenate(ranges)
+        assert np.array_equal(allr, np.arange(16))
+        for p, r in enumerate(ranges):
+            assert r[0] == masters[p]
+
+    def test_invalid_p(self):
+        with pytest.raises(DecompositionError):
+            elect_masters_uniform(4, 5)
+        with pytest.raises(DecompositionError):
+            elect_masters_nonuniform(4, 0)
+
+
+class TestCoarseOperator:
+    def test_correction_matches_explicit(self, space, rng):
+        op = CoarseOperator(space)
+        Z = space.explicit_z()
+        E = op.E.toarray()
+        u = rng.standard_normal(space.dec.problem.num_free)
+        ref = Z @ np.linalg.solve(E, Z.T @ u)
+        assert np.allclose(op.correction(u), ref, atol=1e-8 * abs(ref).max())
+
+    def test_solve_counter(self, space, rng):
+        op = CoarseOperator(space)
+        u = rng.standard_normal(space.dec.problem.num_free)
+        op.correction(u)
+        op.correction(u)
+        assert op.solves == 2
+
+    def test_nnz_factor_positive(self, space):
+        assert CoarseOperator(space).nnz_factor() > 0
+
+    def test_dim(self, space):
+        assert CoarseOperator(space).dim == space.m

@@ -1,0 +1,191 @@
+"""Tests for the extensions: Ritz deflation, abstract deflation,
+deflated CG, non-overlapping pattern."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.common.errors import KrylovError, ReproError
+from repro.core import (
+    AbstractDeflation,
+    CoarseOperator,
+    OneLevelRAS,
+    TwoLevelADEF1,
+    arnoldi,
+    harmonic_ritz_pairs,
+    nonoverlapping_pattern,
+    ritz_deflation,
+)
+from repro.krylov import cg, deflated_cg, gmres
+
+
+@pytest.fixture(scope="module")
+def bad_modes_operator():
+    """SPD matrix with 4 isolated tiny eigenvalues + known eigvectors."""
+    rng = np.random.default_rng(3)
+    n = 150
+    Q = np.linalg.qr(rng.standard_normal((n, n)))[0]
+    eigs = np.concatenate([[1e-5, 1e-4, 1e-3, 1e-2],
+                           np.linspace(1, 2, n - 4)])
+    A = sp.csr_matrix(Q @ np.diag(eigs) @ Q.T)
+    b = rng.standard_normal(n)
+    return A, b, Q
+
+
+class TestArnoldi:
+    def test_relation(self, bad_modes_operator, rng):
+        A, b, _ = bad_modes_operator
+        V, H = arnoldi(lambda v: A @ v, b, 12)
+        k = H.shape[1]
+        lhs = np.column_stack([A @ V[:, j] for j in range(k)])
+        assert np.allclose(lhs, V @ H, atol=1e-10)
+
+    def test_orthonormal(self, bad_modes_operator):
+        A, b, _ = bad_modes_operator
+        V, H = arnoldi(lambda v: A @ v, b, 10)
+        G = V.T @ V
+        assert np.allclose(G, np.eye(G.shape[0]), atol=1e-10)
+
+    def test_invalid_k(self, bad_modes_operator):
+        A, b, _ = bad_modes_operator
+        with pytest.raises(ReproError):
+            arnoldi(lambda v: A @ v, b, 0)
+
+    def test_zero_start(self, bad_modes_operator):
+        A, b, _ = bad_modes_operator
+        with pytest.raises(ReproError):
+            arnoldi(lambda v: A @ v, np.zeros_like(b), 5)
+
+
+class TestHarmonicRitz:
+    def test_targets_smallest(self, bad_modes_operator):
+        A, b, _ = bad_modes_operator
+        V, H = arnoldi(lambda v: A @ v, b, 60)
+        theta, Y = harmonic_ritz_pairs(H)
+        # smallest harmonic Ritz values approximate the tiny eigenvalues
+        assert np.abs(theta[0]) < 0.05
+
+
+class TestRitzDeflation:
+    def test_accelerates_one_level(self, diffusion_decomposition):
+        dec = diffusion_decomposition
+        ras = OneLevelRAS(dec)
+        A = dec.problem.matrix()
+        b = dec.problem.rhs()
+        one = gmres(A, b, M=ras.apply, tol=1e-8, restart=80, maxiter=300)
+        space = ritz_deflation(dec, ras, b, n_vectors=8)
+        pre = TwoLevelADEF1(ras, CoarseOperator(space))
+        two = gmres(A, b, M=pre.apply, tol=1e-8, restart=80, maxiter=300)
+        assert two.converged
+        assert two.iterations < one.iterations
+
+    def test_coarse_dim(self, diffusion_decomposition):
+        dec = diffusion_decomposition
+        ras = OneLevelRAS(dec)
+        space = ritz_deflation(dec, ras, dec.problem.rhs(), n_vectors=5)
+        assert space.m == 5 * dec.num_subdomains or space.m == 5 * \
+            len([s for s in dec.subdomains])
+
+    def test_invalid_sizes(self, diffusion_decomposition):
+        dec = diffusion_decomposition
+        ras = OneLevelRAS(dec)
+        with pytest.raises(ReproError):
+            ritz_deflation(dec, ras, dec.problem.rhs(), n_vectors=50,
+                           n_arnoldi=10)
+
+
+class TestAbstractDeflation:
+    def test_exact_eigenvector_deflation(self, bad_modes_operator):
+        """Deflating the exact bad eigenvectors: GMRES converges like the
+        well-conditioned remainder."""
+        A, b, Q = bad_modes_operator
+        ad = AbstractDeflation(A, Q[:, :4])
+        res = gmres(A, b, M=ad.apply, tol=1e-10, restart=80, maxiter=300)
+        plain = gmres(A, b, tol=1e-10, restart=80, maxiter=300)
+        assert res.converged
+        assert res.iterations < plain.iterations
+
+    def test_correction_is_projection(self, bad_modes_operator, rng):
+        """Q A Z = Z: the correction reproduces coarse vectors."""
+        A, _, Q = bad_modes_operator
+        Z = Q[:, :3]
+        ad = AbstractDeflation(A, Z)
+        y = rng.standard_normal(3)
+        out = ad.correction(A @ (Z @ y))
+        assert np.allclose(out, Z @ y, atol=1e-8)
+
+    def test_projected_operator_kills_coarse_space(self, bad_modes_operator):
+        A, _, Q = bad_modes_operator
+        Z = Q[:, :3]
+        ad = AbstractDeflation(A, Z)
+        out = ad.projected_operator(Z[:, 0])
+        assert np.abs(Z.T @ out).max() < 1e-8
+
+    def test_with_smoother(self, bad_modes_operator):
+        A, b, Q = bad_modes_operator
+        M = sp.diags(1.0 / A.diagonal())
+        ad = AbstractDeflation(A, Q[:, :4], M=M)
+        res = gmres(A, b, M=ad.apply, tol=1e-10, restart=80, maxiter=300)
+        assert res.converged
+
+    def test_errors(self, bad_modes_operator):
+        A, _, Q = bad_modes_operator
+        with pytest.raises(ReproError):
+            AbstractDeflation(A, Q[:, :0])
+        with pytest.raises(ReproError):
+            AbstractDeflation(sp.eye(3, format="csr"),
+                              np.zeros((3, 5)))  # wide, not tall
+
+
+class TestDeflatedCG:
+    def test_beats_plain_cg(self, bad_modes_operator):
+        A, b, Q = bad_modes_operator
+        plain = cg(A, b, tol=1e-10, maxiter=2000)
+        defl = deflated_cg(A, b, Q[:, :4], tol=1e-10, maxiter=2000)
+        assert defl.converged
+        assert defl.iterations < plain.iterations
+        assert np.linalg.norm(A @ defl.x - b) < 1e-8 * np.linalg.norm(b)
+
+    def test_with_jacobi(self, bad_modes_operator):
+        A, b, Q = bad_modes_operator
+        M = sp.diags(1.0 / A.diagonal())
+        defl = deflated_cg(A, b, Q[:, :4], M=M, tol=1e-10, maxiter=2000)
+        assert defl.converged
+
+    def test_solution_exact_on_coarse_rhs(self, bad_modes_operator):
+        """If b ∈ range(AZ), the coarse solve alone nails x."""
+        A, _, Q = bad_modes_operator
+        Z = Q[:, :4]
+        xstar = Z @ np.array([1.0, -2.0, 0.5, 3.0])
+        b = A @ xstar
+        res = deflated_cg(A, b, Z, tol=1e-10, maxiter=50)
+        assert np.allclose(res.x, xstar, atol=1e-7)
+
+    def test_zero_rhs(self, bad_modes_operator):
+        A, _, Q = bad_modes_operator
+        res = deflated_cg(A, np.zeros(A.shape[0]), Q[:, :2])
+        assert res.iterations == 0
+
+    def test_errors(self, bad_modes_operator):
+        A, b, Q = bad_modes_operator
+        with pytest.raises(KrylovError):
+            deflated_cg(A, b, Q[:, :0])
+        with pytest.raises(KrylovError):
+            deflated_cg(A, b, np.zeros((3, 1)))
+
+
+class TestNonOverlappingPattern:
+    def test_chain_distance_two(self):
+        pattern = nonoverlapping_pattern([[1], [0, 2], [1, 3], [2]])
+        # distance-2 pairs like (0, 2) must appear
+        assert (0, 2) in pattern
+        assert (2, 0) in pattern
+        assert (0, 3) not in pattern
+
+    def test_contains_overlapping_pattern(self):
+        neighbors = [[1, 2], [0], [0]]
+        pattern = nonoverlapping_pattern(neighbors)
+        for i, nbrs in enumerate(neighbors):
+            assert (i, i) in pattern
+            for j in nbrs:
+                assert (i, j) in pattern

@@ -1,0 +1,139 @@
+"""Tests for the GenEO eigenproblem and deflation-space construction."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EigenError
+from repro.core import (
+    DeflationSpace,
+    compute_deflation,
+    geneo_pencil,
+    nicolaides_deflation,
+)
+from repro.dd import Decomposition, Problem
+from repro.fem import channels_and_inclusions, layered_elasticity
+from repro.fem.forms import DiffusionForm, ElasticityForm
+from repro.mesh import rectangle, unit_square
+from repro.partition import partition_mesh
+
+
+@pytest.fixture(scope="module")
+def floating_elasticity():
+    """An elasticity decomposition where interior subdomains float."""
+    mesh = rectangle(20, 4, x1=5.0)
+    lam, mu = layered_elasticity(mesh)
+    prob = Problem(mesh, ElasticityForm(degree=1, lam=lam, mu=mu),
+                   dirichlet=lambda x: x[:, 0] < 1e-9)
+    part = (np.minimum((mesh.cell_centroids()[:, 0]), 4.999)).astype(int)
+    return Decomposition(prob, part, delta=1)
+
+
+class TestPencil:
+    def test_b_symmetric_psd(self, diffusion_decomposition):
+        for s in diffusion_decomposition.subdomains[:3]:
+            A, B = geneo_pencil(s)
+            Bd = B.toarray()
+            assert np.allclose(Bd, Bd.T, atol=1e-10 * max(abs(Bd).max(), 1))
+            w = np.linalg.eigvalsh(Bd)
+            assert w.min() > -1e-8 * max(abs(w).max(), 1)
+
+    def test_b_supported_on_overlap(self, diffusion_decomposition):
+        s = diffusion_decomposition.subdomains[0]
+        _, B = geneo_pencil(s)
+        interior = ~s.overlap_mask
+        assert abs(B[interior][:, interior]).max() == 0
+
+
+class TestComputeDeflation:
+    def test_rigid_body_modes_detected(self, floating_elasticity):
+        """A floating 2D elastic subdomain has a 3-dimensional kernel:
+        GenEO must return (near-)zero eigenvalues for exactly 3 modes."""
+        interior = floating_elasticity.subdomains[2]
+        res = compute_deflation(interior, nev=6)
+        lam = res.eigenvalues
+        scale = max(abs(lam).max(), 1.0)
+        assert (np.abs(lam) < 1e-6 * scale).sum() == 3
+
+    def test_clamped_subdomain_no_kernel(self, floating_elasticity):
+        """The subdomain touching the Dirichlet boundary is not floating."""
+        res = compute_deflation(floating_elasticity.subdomains[0], nev=6)
+        assert np.abs(res.eigenvalues[0]) > 1e-10
+
+    def test_w_is_d_scaled(self, diffusion_decomposition):
+        s = diffusion_decomposition.subdomains[0]
+        res = compute_deflation(s, nev=3)
+        # columns of W vanish where the partition of unity does
+        zero_rows = s.d == 0
+        if zero_rows.any():
+            assert np.abs(res.W[zero_rows]).max() < 1e-14
+
+    def test_nev_respected(self, diffusion_decomposition):
+        s = diffusion_decomposition.subdomains[1]
+        for nev in (1, 4, 7):
+            assert compute_deflation(s, nev=nev).nu == nev
+
+    def test_threshold_selection(self, diffusion_decomposition):
+        s = diffusion_decomposition.subdomains[0]
+        full = compute_deflation(s, nev=8)
+        cut = full.eigenvalues[3] if full.nu > 3 else None
+        if cut is not None and np.isfinite(cut):
+            res = compute_deflation(s, nev=8, tau=cut * 0.999)
+            assert res.nu <= 3 or np.all(res.eigenvalues < cut)
+
+    def test_scipy_cross_check(self, diffusion_decomposition):
+        s = diffusion_decomposition.subdomains[2]
+        r1 = compute_deflation(s, nev=4, method="lanczos")
+        r2 = compute_deflation(s, nev=4, method="scipy")
+        assert np.allclose(r1.eigenvalues, r2.eigenvalues, rtol=1e-5)
+
+    def test_eigenvalues_sorted(self, diffusion_decomposition):
+        res = compute_deflation(diffusion_decomposition.subdomains[0], nev=6)
+        assert np.all(np.diff(res.eigenvalues) >= -1e-12)
+
+    def test_invalid_nev(self, diffusion_decomposition):
+        with pytest.raises(EigenError):
+            compute_deflation(diffusion_decomposition.subdomains[0], nev=0)
+
+    def test_unknown_method(self, diffusion_decomposition):
+        with pytest.raises(EigenError):
+            compute_deflation(diffusion_decomposition.subdomains[0],
+                              nev=2, method="arpack")
+
+
+class TestNicolaides:
+    def test_scalar_constant(self, diffusion_decomposition):
+        s = diffusion_decomposition.subdomains[0]
+        res = nicolaides_deflation(s, ncomp=1)
+        assert res.nu == 1
+        assert np.allclose(res.W[:, 0], s.d)
+
+    def test_vector_per_component(self, elasticity_decomposition):
+        s = elasticity_decomposition.subdomains[0]
+        res = nicolaides_deflation(s, ncomp=2)
+        assert res.nu == 2
+        assert np.allclose(res.W[0::2, 0], s.d[0::2])
+        assert np.abs(res.W[1::2, 0]).max() == 0
+
+
+class TestDeflationSpace:
+    def test_explicit_z_matches_products(self, diffusion_decomposition, rng):
+        dec = diffusion_decomposition
+        Ws = [compute_deflation(s, nev=3).W for s in dec.subdomains]
+        space = DeflationSpace(dec, Ws)
+        Z = space.explicit_z()
+        u = rng.standard_normal(dec.problem.num_free)
+        assert np.allclose(space.zt_dot(u), Z.T @ u)
+        y = rng.standard_normal(space.m)
+        assert np.allclose(space.z_dot(y), Z @ y)
+
+    def test_offsets(self, diffusion_decomposition):
+        dec = diffusion_decomposition
+        Ws = [np.ones((s.size, 2)) for s in dec.subdomains]
+        space = DeflationSpace(dec, Ws)
+        assert space.m == 2 * dec.num_subdomains
+        assert np.array_equal(np.diff(space.offsets), space.nu)
+
+    def test_wrong_block_count(self, diffusion_decomposition):
+        from repro.common.errors import DecompositionError
+        with pytest.raises(DecompositionError):
+            DeflationSpace(diffusion_decomposition, [np.ones((3, 1))])

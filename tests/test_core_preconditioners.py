@@ -1,0 +1,126 @@
+"""Algebraic identities and convergence behaviour of the preconditioners."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoarseOperator,
+    DeflationSpace,
+    OneLevelASM,
+    OneLevelRAS,
+    TwoLevelADEF1,
+    TwoLevelADEF2,
+    TwoLevelBNN,
+    compute_deflation,
+)
+from repro.krylov import cg, gmres
+
+
+@pytest.fixture(scope="module")
+def stack(diffusion_decomposition):
+    dec = diffusion_decomposition
+    ras = OneLevelRAS(dec)
+    Ws = [compute_deflation(s, nev=4, seed=s.index).W
+          for s in dec.subdomains]
+    space = DeflationSpace(dec, Ws)
+    coarse = CoarseOperator(space)
+    return dec, ras, space, coarse
+
+
+class TestOneLevel:
+    def test_ras_is_exact_for_single_subdomain(self, diffusion_problem):
+        from repro.dd import Decomposition
+        part = np.zeros(diffusion_problem.mesh.num_cells, dtype=int)
+        part[0] = 1    # two subdomains minimum for a partition of unity
+        part[:] = 0
+        part[diffusion_problem.mesh.cell_centroids()[:, 0] > 0.5] = 1
+        dec = Decomposition(diffusion_problem, part, delta=2)
+        ras = OneLevelRAS(dec)
+        A = diffusion_problem.matrix()
+        b = diffusion_problem.rhs()
+        res = gmres(A, b, M=ras.apply, tol=1e-10, restart=100, maxiter=200)
+        assert res.converged
+
+    def test_asm_symmetric(self, stack, rng):
+        dec, *_ = stack
+        asm = OneLevelASM(dec)
+        n = dec.problem.num_free
+        u, v = rng.standard_normal((2, n))
+        # ⟨P⁻¹u, v⟩ = ⟨u, P⁻¹v⟩
+        lhs = asm.apply(u) @ v
+        rhs = u @ asm.apply(v)
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_ras_not_symmetric(self, stack, rng):
+        dec, ras, *_ = stack
+        n = dec.problem.num_free
+        u, v = rng.standard_normal((2, n))
+        assert abs(ras.apply(u) @ v - u @ ras.apply(v)) > 1e-12
+
+    def test_factor_times_recorded(self, stack):
+        _, ras, *_ = stack
+        assert len(ras.factor_times) == ras.dec.num_subdomains
+        assert all(t >= 0 for t in ras.factor_times)
+
+
+class TestADEF1Identities:
+    def test_coarse_space_reproduced(self, stack, rng):
+        """P⁻¹_A-DEF1 A Z y = Z y: the preconditioned operator acts as the
+        identity on the coarse space (the deflation property)."""
+        dec, ras, space, coarse = stack
+        pre = TwoLevelADEF1(ras, coarse)
+        A = dec.problem.matrix()
+        y = rng.standard_normal(space.m)
+        Zy = space.explicit_z() @ y
+        out = pre.apply(A @ Zy)
+        assert np.allclose(out, Zy, atol=1e-8 * max(abs(Zy).max(), 1e-30))
+
+    def test_one_coarse_solve_per_application(self, stack, rng):
+        dec, ras, space, coarse = stack
+        pre = TwoLevelADEF1(ras, coarse)
+        before = coarse.solves
+        pre.apply(rng.standard_normal(dec.problem.num_free))
+        assert coarse.solves - before == 1
+
+    def test_adef2_two_coarse_solves(self, stack, rng):
+        dec, ras, space, coarse = stack
+        pre = TwoLevelADEF2(ras, coarse)
+        before = coarse.solves
+        pre.apply(rng.standard_normal(dec.problem.num_free))
+        assert coarse.solves - before == 2
+
+    def test_adef1_adef2_same_convergence(self, stack):
+        """Eq. 6 vs eq. 7: similar numerical properties (same #it ±2)."""
+        dec, ras, space, coarse = stack
+        A = dec.problem.matrix()
+        b = dec.problem.rhs()
+        r1 = gmres(A, b, M=TwoLevelADEF1(ras, coarse).apply, tol=1e-8,
+                   restart=60, maxiter=100)
+        r2 = gmres(A, b, M=TwoLevelADEF2(ras, coarse).apply, tol=1e-8,
+                   restart=60, maxiter=100)
+        assert r1.converged and r2.converged
+        assert abs(r1.iterations - r2.iterations) <= 3
+
+    def test_two_level_beats_one_level(self, stack):
+        dec, ras, space, coarse = stack
+        A = dec.problem.matrix()
+        b = dec.problem.rhs()
+        two = gmres(A, b, M=TwoLevelADEF1(ras, coarse).apply, tol=1e-8,
+                    restart=60, maxiter=200)
+        one = gmres(A, b, M=ras.apply, tol=1e-8, restart=60, maxiter=200)
+        assert two.converged
+        assert two.iterations < one.iterations
+
+    def test_bnn_symmetric_with_cg(self, diffusion_decomposition):
+        dec = diffusion_decomposition
+        asm = OneLevelASM(dec)
+        Ws = [compute_deflation(s, nev=4, seed=s.index).W
+              for s in dec.subdomains]
+        coarse = CoarseOperator(DeflationSpace(dec, Ws))
+        pre = TwoLevelBNN(asm, coarse)
+        A = dec.problem.matrix()
+        b = dec.problem.rhs()
+        res = cg(A, b, M=pre.apply, tol=1e-8, maxiter=200)
+        assert res.converged
+        x = np.asarray(res.x)
+        assert np.linalg.norm(A @ x - b) <= 1e-6 * np.linalg.norm(b)

@@ -1,0 +1,109 @@
+"""Tests for the Lanczos / subspace-iteration eigensolver substrate."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from scipy.linalg import eigh
+
+from repro.common.errors import EigenError
+from repro.eigen import lanczos_generalized, subspace_iteration
+from repro.solvers import factorize
+
+
+def random_pencil(n, rank_b, seed=0):
+    """SPD M, PSD B of given rank, with known eigen-decomposition."""
+    rng = np.random.default_rng(seed)
+    Q = np.linalg.qr(rng.standard_normal((n, n)))[0]
+    M = Q @ np.diag(rng.uniform(1, 5, n)) @ Q.T
+    db = np.concatenate([rng.uniform(0.5, 4, rank_b), np.zeros(n - rank_b)])
+    B = Q @ np.diag(db) @ Q.T
+    return sp.csr_matrix(M), sp.csr_matrix(B)
+
+
+class TestLanczos:
+    @pytest.mark.parametrize("nev", [1, 3, 6])
+    def test_matches_dense(self, nev):
+        n = 80
+        M, B = random_pencil(n, n - 10, seed=1)
+        Mf = factorize(M, "dense")
+        res = lanczos_generalized(lambda x: B @ x, Mf, lambda x: M @ x,
+                                  n, nev, seed=0)
+        ref = np.sort(eigh(B.toarray(), M.toarray(), eigvals_only=True))[::-1]
+        assert np.allclose(res.values, ref[:nev], rtol=1e-9)
+
+    def test_eigenvector_residuals(self):
+        n = 60
+        M, B = random_pencil(n, 50, seed=2)
+        Mf = factorize(M, "dense")
+        res = lanczos_generalized(lambda x: B @ x, Mf, lambda x: M @ x,
+                                  n, 4, seed=0)
+        for k in range(4):
+            v = res.vectors[:, k]
+            r = B @ v - res.values[k] * (M @ v)
+            assert np.linalg.norm(r) < 1e-8 * np.linalg.norm(B @ v)
+
+    def test_m_orthonormal_vectors(self):
+        n = 50
+        M, B = random_pencil(n, 40, seed=3)
+        Mf = factorize(M, "dense")
+        res = lanczos_generalized(lambda x: B @ x, Mf, lambda x: M @ x,
+                                  n, 5, seed=1)
+        G = res.vectors.T @ (M @ res.vectors)
+        assert np.allclose(G, np.eye(5), atol=1e-7)
+
+    def test_low_rank_breakdown_handled(self):
+        """rank(B) < requested Krylov dimension: must stop gracefully."""
+        n = 40
+        M, B = random_pencil(n, 5, seed=4)
+        Mf = factorize(M, "dense")
+        res = lanczos_generalized(lambda x: B @ x, Mf, lambda x: M @ x,
+                                  n, 4, seed=0)
+        ref = np.sort(eigh(B.toarray(), M.toarray(), eigvals_only=True))[::-1]
+        assert np.allclose(res.values, ref[:4], atol=1e-8)
+
+    def test_invalid_nev(self):
+        n = 10
+        M, B = random_pencil(n, 8)
+        Mf = factorize(M, "dense")
+        with pytest.raises(EigenError):
+            lanczos_generalized(lambda x: B @ x, Mf, lambda x: M @ x, n, 0)
+        with pytest.raises(EigenError):
+            lanczos_generalized(lambda x: B @ x, Mf, lambda x: M @ x, n, 11)
+
+    def test_deterministic_given_seed(self):
+        n = 30
+        M, B = random_pencil(n, 25, seed=5)
+        Mf = factorize(M, "dense")
+        r1 = lanczos_generalized(lambda x: B @ x, Mf, lambda x: M @ x,
+                                 n, 3, seed=7)
+        r2 = lanczos_generalized(lambda x: B @ x, Mf, lambda x: M @ x,
+                                 n, 3, seed=7)
+        assert np.array_equal(r1.values, r2.values)
+
+
+class TestSubspaceIteration:
+    def test_matches_dense(self):
+        n = 50
+        M, B = random_pencil(n, 40, seed=6)
+        Mf = factorize(M, "dense")
+        res = subspace_iteration(lambda x: B @ x, Mf, lambda x: M @ x,
+                                 n, 3, seed=0, tol=1e-10)
+        ref = np.sort(eigh(B.toarray(), M.toarray(), eigvals_only=True))[::-1]
+        assert np.allclose(res.values[:3], ref[:3], rtol=1e-6)
+
+    def test_agrees_with_lanczos(self):
+        n = 40
+        M, B = random_pencil(n, 30, seed=8)
+        Mf = factorize(M, "dense")
+        r1 = lanczos_generalized(lambda x: B @ x, Mf, lambda x: M @ x,
+                                 n, 3, seed=0)
+        r2 = subspace_iteration(lambda x: B @ x, Mf, lambda x: M @ x,
+                                n, 3, seed=0, tol=1e-10)
+        assert np.allclose(r1.values, r2.values[:3], rtol=1e-6)
+
+    def test_invalid_nev(self):
+        n = 10
+        M, B = random_pencil(n, 5)
+        Mf = factorize(M, "dense")
+        with pytest.raises(EigenError):
+            subspace_iteration(lambda x: B @ x, Mf, lambda x: M @ x, n, 0)

@@ -1,0 +1,94 @@
+"""Tests for boundary-facet integration (surface loads)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import FEMError
+from repro.fem import FunctionSpace, assemble_boundary_load
+from repro.mesh import rectangle, unit_cube, unit_square
+
+
+class TestScalarBoundaryLoad:
+    def test_perimeter_2d(self):
+        V = FunctionSpace(unit_square(5), 2)
+        b = assemble_boundary_load(V, 1.0)
+        assert b.sum() == pytest.approx(4.0)
+
+    def test_surface_area_3d(self):
+        V = FunctionSpace(unit_cube(2), 2)
+        b = assemble_boundary_load(V, 1.0)
+        assert b.sum() == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_degree_independent_total(self, k):
+        V = FunctionSpace(unit_square(4), k)
+        assert assemble_boundary_load(V, 2.5).sum() == pytest.approx(10.0)
+
+    def test_where_filter_selects_edge(self):
+        V = FunctionSpace(unit_square(4), 2)
+        b = assemble_boundary_load(V, 1.0,
+                                   where=lambda x: x[:, 1] > 1 - 1e-9)
+        assert b.sum() == pytest.approx(1.0)
+        # entries supported on the top edge only (up to roundoff)
+        coords = V.scalar_dof_coordinates
+        off_edge = np.abs(coords[:, 1] - 1.0) > 1e-9
+        assert np.abs(b[off_edge]).max() < 1e-12
+
+    def test_polynomial_exactness(self):
+        """∫ x² over the top edge of the unit square = 1/3."""
+        V = FunctionSpace(unit_square(3), 3)
+        b = assemble_boundary_load(V, lambda x: x[:, 0] ** 2,
+                                   where=lambda x: x[:, 1] > 1 - 1e-9)
+        assert b.sum() == pytest.approx(1.0 / 3.0)
+
+    def test_pairs_with_function(self):
+        """(g, v) evaluated against an interpolant equals ∫ g v exactly
+        for polynomial g·v within quadrature degree."""
+        V = FunctionSpace(unit_square(4), 2)
+        b = assemble_boundary_load(V, lambda x: x[:, 0],
+                                   where=lambda x: x[:, 1] > 1 - 1e-9)
+        u = V.interpolate(lambda x: x[:, 0])
+        # ∫_top x·x dx = 1/3
+        assert b @ u == pytest.approx(1.0 / 3.0)
+
+    def test_empty_selection(self):
+        V = FunctionSpace(unit_square(3), 1)
+        b = assemble_boundary_load(V, 1.0,
+                                   where=lambda x: x[:, 0] > 99.0)
+        assert np.all(b == 0)
+
+    def test_rectangle_nonunit(self):
+        V = FunctionSpace(rectangle(4, 2, x1=3.0, y1=2.0), 2)
+        assert assemble_boundary_load(V, 1.0).sum() == pytest.approx(10.0)
+
+
+class TestVectorBoundaryLoad:
+    def test_constant_traction(self):
+        V = FunctionSpace(unit_square(4), 2, ncomp=2)
+        b = assemble_boundary_load(V, np.array([0.0, -3.0]),
+                                   where=lambda x: x[:, 1] > 1 - 1e-9)
+        assert b[0::2].sum() == pytest.approx(0.0)
+        assert b[1::2].sum() == pytest.approx(-3.0)
+
+    def test_callable_traction(self):
+        V = FunctionSpace(unit_square(4), 1, ncomp=2)
+        b = assemble_boundary_load(
+            V, lambda x: np.column_stack([x[:, 0], 0 * x[:, 0]]),
+            where=lambda x: x[:, 1] > 1 - 1e-9)
+        assert b[0::2].sum() == pytest.approx(0.5)
+
+    def test_3d_traction(self):
+        V = FunctionSpace(unit_cube(2), 1, ncomp=3)
+        b = assemble_boundary_load(V, np.array([0.0, 0.0, -1.0]),
+                                   where=lambda x: x[:, 2] > 1 - 1e-9)
+        assert b[2::3].sum() == pytest.approx(-1.0)
+
+    def test_bad_traction_shape(self):
+        V = FunctionSpace(unit_square(2), 1, ncomp=2)
+        with pytest.raises(FEMError):
+            assemble_boundary_load(V, np.array([1.0, 2.0, 3.0]))
+
+    def test_bad_callable_shape(self):
+        V = FunctionSpace(unit_square(2), 1, ncomp=2)
+        with pytest.raises(FEMError):
+            assemble_boundary_load(V, lambda x: np.zeros(len(x)))

@@ -1,0 +1,109 @@
+"""Unit + property tests for reference elements and quadrature."""
+
+from itertools import product
+from math import factorial
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import FEMError
+from repro.fem import grundmann_moeller, reference_simplex, simplex_quadrature
+
+
+def simplex_monomial_integral(exponents, dim):
+    """∫_simplex x^e dx = (Π e_i!) / (d + Σ e_i)!"""
+    s = sum(exponents)
+    num = 1
+    for e in exponents:
+        num *= factorial(e)
+    return num / factorial(dim + s)
+
+
+class TestQuadrature:
+    @pytest.mark.parametrize("dim", [2, 3])
+    @pytest.mark.parametrize("degree", range(0, 8))
+    def test_exactness(self, dim, degree):
+        pts, w = simplex_quadrature(dim, degree)
+        for e in product(range(degree + 1), repeat=dim):
+            if sum(e) > degree:
+                continue
+            val = float((w * np.prod(pts ** np.array(e), axis=1)).sum())
+            ref = simplex_monomial_integral(e, dim)
+            assert val == pytest.approx(ref, rel=1e-12, abs=1e-15)
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_weights_sum_to_volume(self, dim):
+        _, w = simplex_quadrature(dim, 5)
+        assert w.sum() == pytest.approx(1.0 / factorial(dim))
+
+    def test_points_inside_simplex(self):
+        pts, _ = grundmann_moeller(3, 3)
+        assert np.all(pts >= 0)
+        assert np.all(pts.sum(axis=1) <= 1 + 1e-12)
+
+    def test_invalid_args(self):
+        with pytest.raises(FEMError):
+            simplex_quadrature(2, -1)
+        with pytest.raises(FEMError):
+            grundmann_moeller(0, 1)
+        with pytest.raises(FEMError):
+            grundmann_moeller(2, -1)
+
+    @given(st.integers(min_value=0, max_value=6),
+           st.integers(min_value=2, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_gm_rule_cached_and_consistent(self, degree, dim):
+        p1, w1 = simplex_quadrature(dim, degree)
+        p2, w2 = simplex_quadrature(dim, degree)
+        assert p1 is p2 and w1 is w2  # lru_cache returns the same object
+
+
+class TestReferenceElement:
+    @pytest.mark.parametrize("dim,deg", [(2, k) for k in range(1, 5)]
+                                        + [(3, k) for k in range(1, 4)])
+    def test_kronecker(self, dim, deg):
+        ref = reference_simplex(dim, deg)
+        V = ref.eval_basis(ref.nodes)
+        assert np.allclose(V, np.eye(ref.n_nodes), atol=1e-9)
+
+    @pytest.mark.parametrize("dim,deg", [(2, 3), (3, 2)])
+    def test_partition_of_unity(self, dim, deg, rng):
+        ref = reference_simplex(dim, deg)
+        pts = rng.random((20, dim)) * (1.0 / dim)
+        assert np.allclose(ref.eval_basis(pts).sum(axis=1), 1.0)
+
+    @pytest.mark.parametrize("dim,deg", [(2, 2), (2, 4), (3, 2)])
+    def test_gradients_sum_to_zero(self, dim, deg, rng):
+        ref = reference_simplex(dim, deg)
+        pts = rng.random((10, dim)) * (1.0 / dim)
+        G = ref.eval_basis_grads(pts)
+        assert np.allclose(G.sum(axis=1), 0.0, atol=1e-8)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        ref = reference_simplex(2, 3)
+        p = np.array([[0.21, 0.34]])
+        G = ref.eval_basis_grads(p)[0]
+        h = 1e-7
+        for d in range(2):
+            pp = p.copy()
+            pp[0, d] += h
+            fd = (ref.eval_basis(pp) - ref.eval_basis(p))[0] / h
+            assert np.allclose(G[:, d], fd, atol=1e-5)
+
+    def test_node_counts(self):
+        assert reference_simplex(2, 4).n_nodes == 15
+        assert reference_simplex(3, 3).n_nodes == 20
+
+    def test_vertices_first(self):
+        ref = reference_simplex(2, 3)
+        assert np.allclose(ref.nodes[:3], [[0, 0], [1, 0], [0, 1]])
+
+    def test_unsupported_degree(self):
+        with pytest.raises(FEMError):
+            reference_simplex(3, 4)
+        with pytest.raises(FEMError):
+            reference_simplex(2, 0)
+        with pytest.raises(FEMError):
+            reference_simplex(1, 1)

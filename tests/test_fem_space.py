@@ -1,0 +1,138 @@
+"""Tests for function spaces and dof numbering."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import FEMError
+from repro.fem import FunctionSpace
+from repro.mesh import unit_cube, unit_square
+
+
+class TestDofCounts:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_2d_formula(self, k):
+        m = unit_square(4)
+        V = FunctionSpace(m, k)
+        nv, ne, nc = m.num_vertices, m.edges.shape[0], m.num_cells
+        expected = nv + ne * (k - 1) + nc * ((k - 1) * (k - 2) // 2)
+        assert V.num_scalar_dofs == expected
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_3d_formula(self, k):
+        m = unit_cube(2)
+        V = FunctionSpace(m, k)
+        nv, ne = m.num_vertices, m.edges.shape[0]
+        nf = m.facets.shape[0]
+        expected = nv + ne * (k - 1) + (nf if k == 3 else 0)
+        assert V.num_scalar_dofs == expected
+
+    def test_vector_doubling(self):
+        m = unit_square(3)
+        assert FunctionSpace(m, 2, ncomp=2).num_dofs == \
+            2 * FunctionSpace(m, 2).num_scalar_dofs
+
+    def test_invalid_ncomp(self):
+        with pytest.raises(FEMError):
+            FunctionSpace(unit_square(2), 1, ncomp=0)
+
+
+class TestSharedDofs:
+    """Neighbouring cells must assign the same global dof to shared
+    geometric nodes — checked via dof coordinates."""
+
+    @pytest.mark.parametrize("gen,k", [(lambda: unit_square(3), 2),
+                                       (lambda: unit_square(3), 3),
+                                       (lambda: unit_square(2), 4),
+                                       (lambda: unit_cube(2), 2),
+                                       (lambda: unit_cube(2), 3)])
+    def test_coordinates_consistent(self, gen, k):
+        m = gen()
+        V = FunctionSpace(m, k)
+        coords = np.full((V.num_scalar_dofs, m.dim), np.nan)
+        ref = V.ref
+        vv = m.vertices[m.cells]
+        origin = vv[:, 0, :]
+        edges = vv[:, 1:, :] - vv[:, :1, :]
+        phys = origin[:, None, :] + np.einsum("qd,cde->cqe", ref.nodes, edges)
+        for c in range(m.num_cells):
+            for ln, dof in enumerate(V.cell_scalar_dofs[c]):
+                if np.isnan(coords[dof, 0]):
+                    coords[dof] = phys[c, ln]
+                else:
+                    assert np.allclose(coords[dof], phys[c, ln],
+                                       atol=1e-12), \
+                        f"dof {dof} multiply defined at different points"
+        assert not np.isnan(coords).any()
+
+    def test_all_dofs_touched(self):
+        V = FunctionSpace(unit_square(3), 3)
+        touched = np.zeros(V.num_scalar_dofs, dtype=bool)
+        touched[V.cell_scalar_dofs.ravel()] = True
+        assert touched.all()
+
+
+class TestBoundaryDofs:
+    def test_p1_boundary_matches_vertices(self):
+        m = unit_square(4)
+        V = FunctionSpace(m, 1)
+        assert np.array_equal(V.boundary_scalar_dofs, m.boundary_vertices)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_boundary_coords_on_boundary(self, k):
+        m = unit_square(4)
+        V = FunctionSpace(m, k)
+        c = V.scalar_dof_coordinates[V.boundary_scalar_dofs]
+        on_bnd = (np.isclose(c[:, 0], 0) | np.isclose(c[:, 0], 1) |
+                  np.isclose(c[:, 1], 0) | np.isclose(c[:, 1], 1))
+        assert on_bnd.all()
+
+    def test_boundary_count_p2_2d(self):
+        m = unit_square(4)
+        V = FunctionSpace(m, 2)
+        # 4n vertices + 4n edge midpoints on the boundary
+        assert V.boundary_scalar_dofs.size == 2 * (4 * 4)
+
+    def test_3d_boundary_face_dofs(self):
+        m = unit_cube(2)
+        V = FunctionSpace(m, 3)
+        c = V.scalar_dof_coordinates[V.boundary_scalar_dofs]
+        on_bnd = np.any(np.isclose(c, 0) | np.isclose(c, 1), axis=1)
+        assert on_bnd.all()
+
+    def test_where_filter(self):
+        m = unit_square(4)
+        V = FunctionSpace(m, 2)
+        left = V.boundary_dofs(lambda x: x[:, 0] < 1e-12)
+        coords = V.scalar_dof_coordinates[left]
+        assert np.allclose(coords[:, 0], 0.0)
+
+    def test_vector_boundary_interleaved(self):
+        m = unit_square(3)
+        V = FunctionSpace(m, 1, ncomp=2)
+        bd = V.boundary_dofs()
+        assert bd.size == 2 * m.boundary_vertices.size
+        # components come in pairs 2k, 2k+1
+        assert np.array_equal(bd[::2] + 1, bd[1::2])
+
+
+class TestInterpolation:
+    def test_linear_exact(self):
+        m = unit_square(3)
+        V = FunctionSpace(m, 2)
+        u = V.interpolate(lambda x: 2 * x[:, 0] - x[:, 1] + 1)
+        c = V.scalar_dof_coordinates
+        assert np.allclose(u, 2 * c[:, 0] - c[:, 1] + 1)
+
+    def test_vector_interpolation_shape(self):
+        m = unit_square(3)
+        V = FunctionSpace(m, 1, ncomp=2)
+        u = V.interpolate(lambda x: np.column_stack([x[:, 0], x[:, 1]]))
+        assert u.shape == (V.num_dofs,)
+        c = V.scalar_dof_coordinates
+        assert np.allclose(u[0::2], c[:, 0])
+        assert np.allclose(u[1::2], c[:, 1])
+
+    def test_bad_shape_raises(self):
+        V = FunctionSpace(unit_square(2), 1)
+        with pytest.raises(FEMError):
+            V.interpolate(lambda x: np.zeros((3, 3)))

@@ -1,0 +1,101 @@
+"""Tests for the Gmsh MSH 2.2 reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MeshError
+from repro.mesh import unit_cube, unit_square
+from repro.mesh.gmsh import read_gmsh, write_gmsh
+
+MSH_2D = """$MeshFormat
+2.2 0 8
+$EndMeshFormat
+$Nodes
+4
+1 0 0 0
+2 1 0 0
+3 1 1 0
+4 0 1 0
+$EndNodes
+$Elements
+5
+1 15 2 0 1 1
+2 1 2 0 1 1 2
+3 1 2 0 2 2 3
+4 2 2 7 1 1 2 3
+5 2 2 9 1 1 3 4
+$EndElements
+"""
+
+
+class TestRead:
+    def test_reads_triangles_skips_lower_dim(self, tmp_path):
+        p = tmp_path / "square.msh"
+        p.write_text(MSH_2D)
+        mesh, tags = read_gmsh(p)
+        assert mesh.dim == 2
+        assert mesh.num_cells == 2
+        assert mesh.num_vertices == 4
+        assert tags.tolist() == [7, 9]
+        assert mesh.total_volume() == pytest.approx(1.0)
+
+    def test_orientation_fixed(self, tmp_path):
+        flipped = MSH_2D.replace("4 2 2 7 1 1 2 3", "4 2 2 7 1 1 3 2")
+        p = tmp_path / "flip.msh"
+        p.write_text(flipped)
+        mesh, _ = read_gmsh(p)
+        assert np.all(mesh.cell_volumes() > 0)
+
+    def test_missing_sections(self, tmp_path):
+        p = tmp_path / "bad.msh"
+        p.write_text("$MeshFormat\n2.2 0 8\n$EndMeshFormat\n")
+        with pytest.raises(MeshError):
+            read_gmsh(p)
+
+    def test_unsupported_version(self, tmp_path):
+        p = tmp_path / "v4.msh"
+        p.write_text("$MeshFormat\n4.1 0 8\n$EndMeshFormat\n")
+        with pytest.raises(MeshError):
+            read_gmsh(p)
+
+    def test_unterminated_section(self, tmp_path):
+        p = tmp_path / "trunc.msh"
+        p.write_text("$MeshFormat\n2.2 0 8\n")
+        with pytest.raises(MeshError):
+            read_gmsh(p)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("gen", [lambda: unit_square(3),
+                                     lambda: unit_cube(2)])
+    def test_write_read(self, gen, tmp_path):
+        m = gen()
+        p = tmp_path / "m.msh"
+        tags = np.arange(m.num_cells) % 3
+        write_gmsh(m, p, physical_tags=tags)
+        m2, tags2 = read_gmsh(p)
+        assert m2.num_cells == m.num_cells
+        assert m2.total_volume() == pytest.approx(m.total_volume())
+        assert np.array_equal(tags2, tags)
+
+    def test_solver_on_gmsh_mesh(self, tmp_path):
+        """End-to-end: write, read back, partition + solve; physical
+        tags drive the coefficient (the FreeFem++/Gmsh workflow)."""
+        from repro import SchwarzSolver
+        from repro.fem.forms import DiffusionForm
+        m = unit_square(12)
+        p = tmp_path / "m.msh"
+        tags = (m.cell_centroids()[:, 0] > 0.5).astype(np.int64)
+        write_gmsh(m, p, physical_tags=tags)
+        mesh, tags2 = read_gmsh(p)
+        kappa = np.where(tags2 == 1, 1e4, 1.0)
+        s = SchwarzSolver(mesh, DiffusionForm(degree=2, kappa=kappa),
+                          num_subdomains=4, nev=4)
+        rep = s.solve(tol=1e-8, maxiter=300)
+        assert rep.converged
+
+    def test_bad_tags_shape(self, tmp_path):
+        m = unit_square(2)
+        with pytest.raises(MeshError):
+            write_gmsh(m, tmp_path / "x.msh",
+                       physical_tags=np.zeros(3, dtype=np.int64))

@@ -1,0 +1,200 @@
+"""Unit tests for the mesh substrate."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MeshError
+from repro.mesh import (
+    SimplexMesh,
+    box,
+    cantilever_2d,
+    carve,
+    interval_chain,
+    rectangle,
+    refine_uniform,
+    tripod_3d,
+    unit_cube,
+    unit_square,
+)
+
+
+class TestConstruction:
+    def test_rejects_bad_vertex_shape(self):
+        with pytest.raises(MeshError):
+            SimplexMesh(np.zeros((3, 4)), np.zeros((1, 5), dtype=int))
+
+    def test_rejects_bad_cell_width(self):
+        verts = np.array([[0.0, 0], [1, 0], [0, 1]])
+        with pytest.raises(MeshError):
+            SimplexMesh(verts, np.array([[0, 1]]))
+
+    def test_rejects_out_of_range_index(self):
+        verts = np.array([[0.0, 0], [1, 0], [0, 1]])
+        with pytest.raises(MeshError):
+            SimplexMesh(verts, np.array([[0, 1, 7]]))
+
+    def test_rejects_inverted_cell(self):
+        verts = np.array([[0.0, 0], [1, 0], [0, 1]])
+        with pytest.raises(MeshError):
+            SimplexMesh(verts, np.array([[0, 2, 1]]))
+
+    def test_rejects_empty_mesh(self):
+        with pytest.raises(MeshError):
+            SimplexMesh(np.zeros((3, 2)), np.zeros((0, 3), dtype=int))
+
+
+class TestRectangle:
+    def test_counts(self):
+        m = rectangle(4, 3)
+        assert m.num_vertices == 5 * 4
+        assert m.num_cells == 2 * 4 * 3
+
+    def test_total_area(self):
+        m = rectangle(5, 7, x0=-1, x1=3, y0=2, y1=4)
+        assert m.total_volume() == pytest.approx(4 * 2)
+
+    def test_boundary_vertex_count(self):
+        m = unit_square(6)
+        # boundary of an n x n grid has 4n vertices
+        assert len(m.boundary_vertices) == 4 * 6
+
+    def test_requires_positive_sizes(self):
+        with pytest.raises(MeshError):
+            rectangle(0, 3)
+
+
+class TestBox:
+    def test_total_volume(self):
+        m = box(3, 2, 4, x1=2.0, y1=1.0, z1=3.0)
+        assert m.total_volume() == pytest.approx(6.0)
+
+    def test_cell_count_six_tets_per_hex(self):
+        m = box(2, 2, 2)
+        assert m.num_cells == 6 * 8
+
+    def test_positive_volumes(self):
+        m = unit_cube(3)
+        assert np.all(m.cell_volumes() > 0)
+
+
+class TestTopology:
+    def test_dual_graph_symmetric(self):
+        m = unit_square(5)
+        g = m.dual_graph
+        assert (g != g.T).nnz == 0
+
+    def test_dual_graph_interior_triangle_has_3_neighbors(self):
+        m = unit_square(8)
+        deg = np.diff(m.dual_graph.indptr)
+        assert deg.max() == 3
+        assert deg.min() >= 1
+
+    def test_facet_counts_euler_2d(self):
+        m = unit_square(4)
+        # Euler: V - E + F = 1 for a disc (F counts triangles)
+        V, E, F = m.num_vertices, m.edges.shape[0], m.num_cells
+        assert V - E + F == 1
+
+    def test_boundary_facets_2d_count(self):
+        m = unit_square(4)
+        assert m.boundary_facets.shape[0] == 4 * 4
+
+    def test_cell_facets_shape(self):
+        m = unit_cube(2)
+        assert m.cell_facets.shape == (m.num_cells, 4)
+
+    def test_cell_edges_consistent(self):
+        m = unit_square(3)
+        ce = m.cell_edges
+        edges = m.edges
+        for c in range(m.num_cells):
+            cell = m.cells[c]
+            pairs = [(0, 1), (0, 2), (1, 2)]
+            for k, (a, b) in enumerate(pairs):
+                e = edges[ce[c, k]]
+                assert set(e) == {cell[a], cell[b]}
+
+    def test_vertex_adjacency_includes_diagonal(self):
+        m = unit_square(3)
+        assert np.all(m.vertex_adjacency.diagonal() == 1)
+
+
+class TestGeometry:
+    def test_centroids_inside_unit_square(self):
+        m = unit_square(4)
+        c = m.cell_centroids()
+        assert np.all(c >= 0) and np.all(c <= 1)
+
+    def test_diameters_structured(self):
+        m = unit_square(4)
+        h = m.cell_diameters()
+        assert np.allclose(h, np.sqrt(2) / 4)
+
+    def test_h_max(self):
+        assert unit_square(8).h_max() == pytest.approx(np.sqrt(2) / 8)
+
+
+class TestExtract:
+    def test_extract_roundtrip(self):
+        m = unit_square(4)
+        ids = np.arange(0, m.num_cells, 2)
+        sub, vmap, cmap = m.extract_cells(ids)
+        assert np.array_equal(cmap, ids)
+        assert np.allclose(sub.vertices, m.vertices[vmap])
+        assert np.array_equal(vmap[sub.cells], m.cells[ids])
+
+    def test_extract_volume(self):
+        m = unit_square(4)
+        vols = m.cell_volumes()
+        ids = np.array([0, 5, 9])
+        sub, _, _ = m.extract_cells(ids)
+        assert sub.total_volume() == pytest.approx(vols[ids].sum())
+
+
+class TestRefine:
+    @pytest.mark.parametrize("gen,factor", [(lambda: unit_square(3), 4),
+                                            (lambda: unit_cube(2), 8)])
+    def test_cell_count(self, gen, factor):
+        m = gen()
+        r = refine_uniform(m)
+        assert r.num_cells == factor * m.num_cells
+
+    @pytest.mark.parametrize("gen", [lambda: unit_square(3),
+                                     lambda: unit_cube(2),
+                                     lambda: tripod_3d(2)])
+    def test_volume_preserved(self, gen):
+        m = gen()
+        r = refine_uniform(m, 2)
+        assert r.total_volume() == pytest.approx(m.total_volume())
+
+    def test_refine_conforming(self):
+        # a conforming refinement of a disc keeps Euler characteristic 1
+        m = refine_uniform(unit_square(2), 2)
+        V, E, F = m.num_vertices, m.edges.shape[0], m.num_cells
+        assert V - E + F == 1
+
+    def test_refined_3d_positive(self):
+        r = refine_uniform(unit_cube(2), 1)
+        assert np.all(r.cell_volumes() > 0)
+
+
+class TestShapes:
+    def test_cantilever_aspect(self):
+        m = cantilever_2d(3, length=10.0, height=1.0)
+        lo, hi = m.vertices.min(axis=0), m.vertices.max(axis=0)
+        assert hi[0] - lo[0] == pytest.approx(10.0)
+        assert hi[1] - lo[1] == pytest.approx(1.0)
+
+    def test_tripod_nonempty_and_3d(self):
+        m = tripod_3d(2)
+        assert m.dim == 3
+        assert m.num_cells > 100
+
+    def test_carve_rejects_empty(self):
+        m = unit_square(3)
+        with pytest.raises(MeshError):
+            carve(m, lambda c: np.zeros(len(c), dtype=bool))
+
+    def test_interval_chain(self):
+        m = interval_chain(5)
+        assert m.num_cells == 10

@@ -1,0 +1,73 @@
+"""Tests for mesh I/O (native format + VTK export)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MeshError
+from repro.mesh import load_mesh, refine_uniform, save_mesh, unit_cube, unit_square, write_vtk
+
+
+class TestNativeFormat:
+    @pytest.mark.parametrize("gen", [lambda: unit_square(4),
+                                     lambda: unit_cube(2),
+                                     lambda: refine_uniform(unit_square(2))])
+    def test_roundtrip(self, gen, tmp_path):
+        m = gen()
+        p = tmp_path / "mesh.msh.txt"
+        save_mesh(m, p)
+        m2 = load_mesh(p)
+        assert np.allclose(m.vertices, m2.vertices)
+        assert np.array_equal(m.cells, m2.cells)
+
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("not a mesh\n1 2 3\n")
+        with pytest.raises(MeshError):
+            load_mesh(p)
+
+    def test_malformed_sizes(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("repro-simplex-mesh 1\n2 5\n")
+        with pytest.raises(MeshError):
+            load_mesh(p)
+
+
+class TestVTK:
+    def test_2d_structure(self, tmp_path):
+        m = unit_square(3)
+        p = tmp_path / "m.vtk"
+        write_vtk(m, p, point_data={"f": np.arange(m.num_vertices,
+                                                   dtype=float)},
+                  cell_data={"part": np.zeros(m.num_cells)})
+        text = p.read_text()
+        assert "DATASET UNSTRUCTURED_GRID" in text
+        assert f"POINTS {m.num_vertices} double" in text
+        assert f"CELLS {m.num_cells}" in text
+        assert "SCALARS f double 1" in text
+        assert "SCALARS part double 1" in text
+        # triangles are VTK type 5
+        assert "\n5\n" in text
+
+    def test_3d_cell_type(self, tmp_path):
+        m = unit_cube(2)
+        p = tmp_path / "m.vtk"
+        write_vtk(m, p)
+        assert "\n10\n" in p.read_text()      # tetrahedron type
+
+    def test_vector_point_data_padded(self, tmp_path):
+        m = unit_square(2)
+        p = tmp_path / "m.vtk"
+        write_vtk(m, p, point_data={"disp": np.ones((m.num_vertices, 2))})
+        assert "VECTORS disp double" in p.read_text()
+
+    def test_bad_point_data_shape(self, tmp_path):
+        m = unit_square(2)
+        with pytest.raises(MeshError):
+            write_vtk(m, tmp_path / "x.vtk",
+                      point_data={"f": np.zeros(3)})
+
+    def test_bad_cell_data_shape(self, tmp_path):
+        m = unit_square(2)
+        with pytest.raises(MeshError):
+            write_vtk(m, tmp_path / "x.vtk",
+                      cell_data={"f": np.zeros(3)})

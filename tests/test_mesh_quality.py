@@ -1,0 +1,92 @@
+"""Mesh-quality and geometry invariants across all generators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    box,
+    cantilever_2d,
+    interval_chain,
+    rectangle,
+    refine_uniform,
+    tripod_3d,
+    unit_cube,
+    unit_square,
+)
+
+GENERATORS_2D = [
+    ("unit_square", lambda: unit_square(6)),
+    ("rectangle", lambda: rectangle(5, 3, x0=-1, x1=2, y0=0.5, y1=1.5)),
+    ("cantilever", lambda: cantilever_2d(3)),
+    ("chain", lambda: interval_chain(8, width=2)),
+]
+GENERATORS_3D = [
+    ("unit_cube", lambda: unit_cube(3)),
+    ("box", lambda: box(2, 3, 2, x1=2.0)),
+    ("tripod", lambda: tripod_3d(2)),
+]
+
+
+@pytest.mark.parametrize("name,gen", GENERATORS_2D + GENERATORS_3D)
+class TestGeneratorInvariants:
+    def test_positive_volumes(self, name, gen):
+        m = gen()
+        assert np.all(m.cell_volumes() > 0)
+
+    def test_no_orphan_vertices(self, name, gen):
+        m = gen()
+        used = np.unique(m.cells.ravel())
+        assert used.size == m.num_vertices
+
+    def test_no_duplicate_cells(self, name, gen):
+        m = gen()
+        sorted_cells = np.sort(m.cells, axis=1)
+        uniq = np.unique(sorted_cells, axis=0)
+        assert uniq.shape[0] == m.num_cells
+
+    def test_conforming_facets(self, name, gen):
+        """Interior facets shared by exactly 2 cells, boundary by 1 —
+        the conformity requirement of the FE assembly."""
+        m = gen()
+        _, _, counts, _ = m._facet_data
+        assert counts.min() >= 1
+        assert counts.max() <= 2
+
+    def test_boundary_nonempty(self, name, gen):
+        m = gen()
+        assert m.boundary_facets.shape[0] > 0
+
+    def test_diameters_bound_volumes(self, name, gen):
+        """vol <= h^dim for every simplex (a loose sanity envelope)."""
+        m = gen()
+        h = m.cell_diameters()
+        assert np.all(m.cell_volumes() <= h ** m.dim + 1e-12)
+
+
+class TestRefinementQuality:
+    @pytest.mark.parametrize("gen", [lambda: unit_square(3),
+                                     lambda: unit_cube(2)])
+    def test_shape_regularity_preserved(self, gen):
+        """Red refinement must not degrade the worst quality ratio by
+        more than a constant (Bey's tetrahedral refinement guarantees
+        boundedness; 2D red refinement is exactly self-similar)."""
+        m = gen()
+
+        def worst_quality(mesh):
+            q = mesh.cell_volumes() / mesh.cell_diameters() ** mesh.dim
+            return q.min()
+
+        q0 = worst_quality(m)
+        q2 = worst_quality(refine_uniform(m, 2))
+        assert q2 >= 0.3 * q0
+
+    def test_h_halves(self):
+        m = unit_square(4)
+        r = refine_uniform(m)
+        assert r.h_max() == pytest.approx(m.h_max() / 2)
+
+    def test_boundary_grows_consistently(self):
+        m = unit_cube(2)
+        r = refine_uniform(m)
+        # each boundary triangle splits in 4
+        assert r.boundary_facets.shape[0] == 4 * m.boundary_facets.shape[0]

@@ -1,0 +1,84 @@
+"""Additional property-based coverage: I/O roundtrips, election, norms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import elect_masters_nonuniform, elect_masters_uniform, split_ranges
+from repro.fem import FunctionSpace, l2_norm
+from repro.mesh import rectangle
+from repro.mesh.gmsh import read_gmsh, write_gmsh
+from repro.mesh.io import load_mesh, save_mesh
+
+
+class TestIORoundtrips:
+    @given(nx=st.integers(1, 6), ny=st.integers(1, 6),
+           sx=st.floats(0.5, 3.0), sy=st.floats(0.5, 3.0))
+    @settings(max_examples=10, deadline=None)
+    def test_native_roundtrip_random_rectangles(self, nx, ny, sx, sy,
+                                                tmp_path_factory):
+        m = rectangle(nx, ny, x1=sx, y1=sy)
+        p = tmp_path_factory.mktemp("io") / "m.txt"
+        save_mesh(m, p)
+        m2 = load_mesh(p)
+        assert np.allclose(m.vertices, m2.vertices)
+        assert np.array_equal(m.cells, m2.cells)
+
+    @given(nx=st.integers(1, 5), ny=st.integers(1, 5),
+           seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_gmsh_roundtrip_random(self, nx, ny, seed, tmp_path_factory):
+        m = rectangle(nx, ny)
+        rng = np.random.default_rng(seed)
+        tags = rng.integers(0, 5, m.num_cells)
+        p = tmp_path_factory.mktemp("gmsh") / "m.msh"
+        write_gmsh(m, p, physical_tags=tags)
+        m2, tags2 = read_gmsh(p)
+        assert m2.total_volume() == pytest.approx(m.total_volume())
+        assert np.array_equal(tags2, tags)
+
+
+class TestElectionProperties:
+    @given(N=st.integers(2, 512), P=st.integers(1, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_elections_are_valid(self, N, P):
+        P = min(P, N)
+        for elect in (elect_masters_uniform, elect_masters_nonuniform):
+            masters = elect(N, P)
+            assert masters.shape == (P,)
+            assert masters[0] == 0
+            assert np.all(np.diff(masters) >= 1)     # strictly increasing
+            assert masters[-1] < N
+            ranges = split_ranges(masters, N)
+            assert np.array_equal(np.concatenate(ranges), np.arange(N))
+
+    @given(N=st.integers(8, 1024))
+    @settings(max_examples=20, deadline=None)
+    def test_nonuniform_groups_grow(self, N):
+        """Upper-triangle rows shrink with the row index, so later
+        masters must own MORE ranks to balance value counts: group sizes
+        grow towards the end (up to integer rounding)."""
+        P = max(2, N // 16)
+        masters = elect_masters_nonuniform(N, P)
+        sizes = np.diff(np.concatenate([masters, [N]]))
+        assert sizes[-1] + 1 >= sizes[0]
+
+
+class TestNormProperties:
+    @given(a=st.floats(-5, 5), b=st.floats(-5, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_l2_norm_homogeneity(self, a, b):
+        V = FunctionSpace(rectangle(3, 3), 2)
+        u = V.interpolate(lambda x: x[:, 0] + 0.3)
+        assert l2_norm(V, a * u) == pytest.approx(abs(a) * l2_norm(V, u),
+                                                  abs=1e-12)
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_l2_triangle_inequality(self, seed):
+        V = FunctionSpace(rectangle(3, 3), 1)
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal(V.num_dofs)
+        v = rng.standard_normal(V.num_dofs)
+        assert l2_norm(V, u + v) <= l2_norm(V, u) + l2_norm(V, v) + 1e-12

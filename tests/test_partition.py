@@ -1,0 +1,166 @@
+"""Tests for the multilevel partitioner and metrics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import PartitionError
+from repro.mesh import unit_cube, unit_square
+from repro.partition import (
+    edge_cut,
+    imbalance,
+    multilevel_bisect,
+    neighbour_counts,
+    part_weights,
+    partition_graph,
+    partition_mesh,
+    partition_rcb,
+    parts_connected,
+)
+
+
+def path_graph(n):
+    rows = np.arange(n - 1)
+    cols = rows + 1
+    data = np.ones(n - 1)
+    g = sp.coo_matrix((data, (rows, cols)), shape=(n, n))
+    return (g + g.T).tocsr()
+
+
+def grid_graph(nx, ny):
+    import networkx as nx_mod
+    g = nx_mod.grid_2d_graph(nx, ny)
+    return sp.csr_matrix(nx_mod.to_scipy_sparse_array(g))
+
+
+class TestBisection:
+    def test_path_graph_cut_is_one(self):
+        g = path_graph(64)
+        side = multilevel_bisect(g, np.ones(64), 0.5, seed=0)
+        # optimal bisection of a path cuts exactly one edge
+        cut = edge_cut(g, side)
+        assert cut <= 2
+        w = part_weights(side, nparts=2)
+        assert abs(w[0] - w[1]) <= 4
+
+    def test_respects_frac(self):
+        g = grid_graph(12, 12)
+        side = multilevel_bisect(g, np.ones(144), 0.25, seed=0)
+        w0 = (side == 0).sum()
+        assert 0.15 * 144 <= w0 <= 0.35 * 144
+
+    def test_invalid_frac(self):
+        g = path_graph(8)
+        with pytest.raises(PartitionError):
+            multilevel_bisect(g, np.ones(8), 1.5)
+
+    def test_vertex_weights(self):
+        g = path_graph(32)
+        vwgt = np.ones(32)
+        vwgt[:8] = 10.0                       # heavy head
+        side = multilevel_bisect(g, vwgt, 0.5, seed=0)
+        w = part_weights(side, vwgt, nparts=2)
+        assert abs(w[0] - w[1]) / w.sum() < 0.2
+
+
+class TestKWay:
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_all_parts_nonempty(self, k):
+        g = grid_graph(10, 10)
+        part = partition_graph(g, k, seed=0)
+        assert set(part) == set(range(k))
+
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_balance(self, k):
+        g = grid_graph(12, 12)
+        part = partition_graph(g, k, seed=0)
+        assert imbalance(part) < 0.25
+
+    def test_nparts_one(self):
+        g = path_graph(10)
+        assert np.all(partition_graph(g, 1) == 0)
+
+    def test_errors(self):
+        g = path_graph(4)
+        with pytest.raises(PartitionError):
+            partition_graph(g, 0)
+        with pytest.raises(PartitionError):
+            partition_graph(g, 10)
+
+
+class TestRCB:
+    def test_deterministic(self, rng):
+        pts = rng.random((200, 2))
+        p1 = partition_rcb(pts, 8)
+        p2 = partition_rcb(pts, 8)
+        assert np.array_equal(p1, p2)
+
+    @pytest.mark.parametrize("k", [2, 3, 7, 16])
+    def test_balance_exact(self, rng, k):
+        pts = rng.random((256, 3))
+        part = partition_rcb(pts, k)
+        w = part_weights(part, nparts=k)
+        assert w.max() - w.min() <= k  # proportional splits
+
+    def test_errors(self, rng):
+        with pytest.raises(PartitionError):
+            partition_rcb(rng.random((5, 2)), 0)
+        with pytest.raises(PartitionError):
+            partition_rcb(rng.random((5, 2)), 6)
+
+
+class TestMeshPartition:
+    @pytest.mark.parametrize("method", ["multilevel", "rcb"])
+    def test_covers_all_cells(self, method):
+        m = unit_square(10)
+        part = partition_mesh(m, 6, method=method)
+        assert part.shape == (m.num_cells,)
+        assert set(part) == set(range(6))
+
+    def test_3d(self):
+        m = unit_cube(4)
+        part = partition_mesh(m, 4)
+        assert imbalance(part) < 0.25
+
+    def test_unknown_method(self):
+        with pytest.raises(PartitionError):
+            partition_mesh(unit_square(4), 2, method="magic")
+
+
+class TestMetrics:
+    def test_edge_cut_path(self):
+        g = path_graph(10)
+        part = np.array([0] * 5 + [1] * 5)
+        assert edge_cut(g, part) == 1.0
+
+    def test_parts_connected_detects_split(self):
+        g = path_graph(10)
+        part = np.array([0, 1, 0, 1, 0, 1, 0, 1, 0, 1])
+        assert not parts_connected(g, part)
+        part2 = np.array([0] * 5 + [1] * 5)
+        assert parts_connected(g, part2)
+
+    def test_neighbour_counts_path(self):
+        g = path_graph(12)
+        part = np.repeat([0, 1, 2], 4)
+        counts = neighbour_counts(g, part)
+        assert counts.tolist() == [1, 2, 1]
+
+    def test_imbalance_zero_for_equal(self):
+        part = np.repeat(np.arange(4), 10)
+        assert imbalance(part) == pytest.approx(0.0)
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=8, max_value=60),
+           st.integers(min_value=2, max_value=4),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_random_path_partitions_cover(self, n, k, seed):
+        g = path_graph(n)
+        part = partition_graph(g, k, seed=seed)
+        assert part.min() >= 0 and part.max() == k - 1
+        w = part_weights(part, nparts=k)
+        assert w.min() >= 1

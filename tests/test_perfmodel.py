@@ -1,0 +1,100 @@
+"""Tests for the machine model, scaling rows and extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.meter import Meter, RankStats
+from repro.perfmodel import (
+    CURIE,
+    MachineModel,
+    PowerLaw,
+    ScalingRow,
+    StrongScalingModel,
+    fit_power_law,
+    speedup,
+    weak_efficiency,
+)
+
+
+class TestMachineModel:
+    def test_p2p_components(self):
+        m = MachineModel(latency=1e-6, inv_bandwidth=1e-9)
+        assert m.p2p(0, messages=3) == pytest.approx(3e-6)
+        assert m.p2p(1e9, messages=0) == pytest.approx(1.0)
+
+    def test_log_collectives_scale_slowly(self):
+        m = MachineModel()
+        t64 = m.collective("allreduce", 64, 64)
+        t4096 = m.collective("allreduce", 64, 4096)
+        assert t4096 / t64 == pytest.approx(2.0, rel=0.01)   # log ratio
+
+    def test_linear_collectives_scale_linearly(self):
+        m = MachineModel()
+        t64 = m.collective("gatherv", 64, 64)
+        t4096 = m.collective("gatherv", 64, 4096)
+        assert t4096 / t64 > 30
+
+    def test_single_rank_free(self):
+        assert MachineModel().collective("allreduce", 100, 1) == 0.0
+
+    def test_compute(self):
+        m = MachineModel(flops=1e9)
+        assert m.compute(2e9) == pytest.approx(2.0)
+
+    def test_model_meter_uses_max_rank(self):
+        meter = Meter(2)
+        meter.on_send(0, 1000)
+        meter.on_send(0, 1000)
+        t = CURIE.model_meter(meter, nranks=2)
+        assert t > 0
+        # rank 1 sent nothing; critical path = rank 0
+        assert t == CURIE.model_rank_comm(meter.stats(0))
+
+
+class TestScalingRows:
+    def _rows(self):
+        return [ScalingRow(4, 8.0, 8.0, 4.0, 10, 1 << 20),
+                ScalingRow(8, 4.0, 4.0, 2.0, 11, 1 << 20),
+                ScalingRow(16, 2.0, 2.0, 1.0, 12, 1 << 20)]
+
+    def test_total(self):
+        r = ScalingRow(4, 1.0, 2.0, 3.0, 9, 100)
+        assert r.total == 6.0
+
+    def test_speedup_linear(self):
+        s = speedup(self._rows())
+        assert np.allclose(s, [1.0, 2.0, 4.0])
+
+    def test_weak_efficiency_perfect(self):
+        rows = [ScalingRow(4, 1, 1, 1, 10, 4000),
+                ScalingRow(8, 1, 1, 1, 10, 8000)]
+        assert weak_efficiency(rows)[1] == pytest.approx(1.0)
+
+    def test_weak_efficiency_degraded(self):
+        rows = [ScalingRow(4, 1, 1, 1, 10, 4000),
+                ScalingRow(8, 2, 1, 1, 10, 8000)]
+        assert weak_efficiency(rows)[1] < 1.0
+
+
+class TestPowerLaw:
+    def test_exact_fit(self):
+        n = np.array([100, 200, 400, 800])
+        law = fit_power_law(n, 3e-6 * n ** 1.5)
+        assert law.b == pytest.approx(1.5, abs=1e-6)
+        assert law.a == pytest.approx(3e-6, rel=1e-6)
+        assert law(1600) == pytest.approx(3e-6 * 1600 ** 1.5, rel=1e-6)
+
+    def test_single_point(self):
+        law = fit_power_law([100], [1.0])
+        assert law.b == 1.0
+
+    def test_strong_scaling_model_predicts_decreasing_local(self):
+        rows = [ScalingRow(4, 8.0, 6.0, 1.0, 10, 1 << 16),
+                ScalingRow(8, 3.0, 2.5, 0.6, 10, 1 << 16),
+                ScalingRow(16, 1.2, 1.0, 0.4, 11, 1 << 16)]
+        model = StrongScalingModel.fit(rows, nu=10)
+        assert model.factorization.b > 1.0      # superlinear local cost
+        big = model.predict(1024)
+        small = model.predict(2048)
+        assert small.factorization < big.factorization
+        assert small.N == 2048

@@ -1,0 +1,114 @@
+"""Tests for point evaluation and norms."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import FEMError
+from repro.fem import (
+    FunctionSpace,
+    PointLocator,
+    assemble_stiffness,
+    energy_norm,
+    evaluate,
+    h1_seminorm,
+    l2_error,
+    l2_norm,
+)
+from repro.mesh import unit_cube, unit_square
+
+
+class TestPointLocator:
+    def test_locates_centroids(self):
+        m = unit_square(5)
+        loc = PointLocator(m)
+        cells, bary = loc.locate(m.cell_centroids())
+        assert np.array_equal(cells, np.arange(m.num_cells))
+        assert np.allclose(bary.sum(axis=1), 1.0)
+
+    def test_outside_returns_minus_one(self):
+        m = unit_square(3)
+        cells, _ = PointLocator(m).locate([[2.0, 2.0]])
+        assert cells[0] == -1
+
+    def test_vertices_found(self):
+        m = unit_square(4)
+        cells, bary = PointLocator(m).locate(m.vertices)
+        assert np.all(cells >= 0)
+
+    def test_3d(self):
+        m = unit_cube(3)
+        cells, bary = PointLocator(m).locate([[0.51, 0.49, 0.52]])
+        assert cells[0] >= 0
+        assert np.all(bary[0] >= 0)
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_exact_for_degree_k(self, k, rng):
+        m = unit_square(4)
+        V = FunctionSpace(m, k)
+        u = V.interpolate(lambda x: (x[:, 0] + 0.5 * x[:, 1]) ** k)
+        pts = rng.random((10, 2))
+        vals = evaluate(V, u, pts)
+        exact = (pts[:, 0] + 0.5 * pts[:, 1]) ** k
+        assert np.allclose(vals, exact, atol=1e-11)
+
+    def test_vector_space(self):
+        m = unit_square(3)
+        V = FunctionSpace(m, 1, ncomp=2)
+        u = V.interpolate(lambda x: np.column_stack([x[:, 0], -x[:, 1]]))
+        vals = evaluate(V, u, [[0.25, 0.75]])
+        assert np.allclose(vals, [[0.25, -0.75]])
+
+    def test_outside_raises(self):
+        m = unit_square(2)
+        V = FunctionSpace(m, 1)
+        with pytest.raises(FEMError):
+            evaluate(V, np.zeros(V.num_dofs), [[5.0, 5.0]])
+
+    def test_wrong_length_raises(self):
+        V = FunctionSpace(unit_square(2), 1)
+        with pytest.raises(FEMError):
+            evaluate(V, np.zeros(3), [[0.5, 0.5]])
+
+
+class TestNorms:
+    def test_l2_of_constant(self):
+        V = FunctionSpace(unit_square(4), 2)
+        u = V.interpolate(lambda x: np.full(len(x), 3.0))
+        assert l2_norm(V, u) == pytest.approx(3.0)
+
+    def test_l2_of_linear(self):
+        V = FunctionSpace(unit_square(4), 2)
+        u = V.interpolate(lambda x: x[:, 0])
+        assert l2_norm(V, u) == pytest.approx(np.sqrt(1.0 / 3.0))
+
+    def test_h1_seminorm_linear(self):
+        V = FunctionSpace(unit_square(4), 3)
+        u = V.interpolate(lambda x: 2 * x[:, 0] - x[:, 1])
+        assert h1_seminorm(V, u) == pytest.approx(np.sqrt(5.0))
+
+    def test_h1_constant_zero(self):
+        V = FunctionSpace(unit_square(3), 1)
+        u = np.ones(V.num_dofs)
+        assert h1_seminorm(V, u) == pytest.approx(0.0, abs=1e-10)
+
+    def test_energy_norm_matches_h1_for_laplacian(self):
+        m = unit_square(4)
+        V = FunctionSpace(m, 2)
+        A = assemble_stiffness(V)
+        u = V.interpolate(lambda x: x[:, 0] * x[:, 1])
+        assert energy_norm(A, u) == pytest.approx(h1_seminorm(V, u),
+                                                  rel=1e-10)
+
+    def test_l2_error_zero_for_interpolant(self):
+        V = FunctionSpace(unit_square(3), 2)
+        f = lambda x: x[:, 0] ** 2          # noqa: E731
+        u = V.interpolate(f)
+        assert l2_error(V, u, f) == pytest.approx(0.0, abs=1e-12)
+
+    def test_vector_l2(self):
+        V = FunctionSpace(unit_square(3), 1, ncomp=2)
+        u = V.interpolate(lambda x: np.column_stack(
+            [np.ones(len(x)), np.zeros(len(x))]))
+        assert l2_norm(V, u) == pytest.approx(1.0)

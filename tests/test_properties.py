@@ -1,0 +1,170 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These sample random problem configurations — mesh sizes, partition
+counts, overlap widths, degrees, payload shapes — and assert the
+structural invariants that every other component relies on.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dd import Decomposition, Problem
+from repro.fem import FunctionSpace, assemble_stiffness
+from repro.fem.forms import DiffusionForm
+from repro.mesh import rectangle, refine_uniform, unit_square
+from repro.mpi import Meter, payload_bytes, run_spmd
+from repro.partition import partition_mesh
+
+_slow = settings(max_examples=8, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestDecompositionInvariants:
+    @given(nx=st.integers(6, 12), ny=st.integers(4, 10),
+           nparts=st.integers(2, 6), delta=st.integers(1, 3),
+           degree=st.integers(1, 3), seed=st.integers(0, 99))
+    @_slow
+    def test_random_config(self, nx, ny, nparts, delta, degree, seed):
+        mesh = rectangle(nx, ny)
+        kappa = 1.0 + 10.0 ** (seed % 4) * \
+            (mesh.cell_centroids()[:, 0] > 0.5)
+        prob = Problem(mesh, DiffusionForm(degree=degree, kappa=kappa))
+        part = partition_mesh(mesh, nparts, seed=seed)
+        dec = Decomposition(prob, part, delta=delta)
+        # partition of unity
+        acc = np.zeros(prob.num_free)
+        for s in dec.subdomains:
+            np.add.at(acc, s.dofs, s.d)
+        assert np.abs(acc - 1).max() < 1e-10
+        # matvec identity
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(prob.num_free)
+        A = prob.matrix()
+        assert np.linalg.norm(dec.matvec(x) - A @ x) <= \
+            1e-9 * max(np.linalg.norm(A @ x), 1e-300)
+        # Dirichlet matrices by trim
+        for s in dec.subdomains:
+            ref = A[s.dofs][:, s.dofs]
+            assert abs(s.A_dir - ref).max() <= \
+                1e-10 * max(abs(ref).max(), 1e-300)
+
+    @given(n=st.integers(4, 10), nparts=st.integers(2, 5),
+           seed=st.integers(0, 20))
+    @_slow
+    def test_exchange_symmetry(self, n, nparts, seed):
+        """shared-index maps agree pairwise on the global dofs."""
+        mesh = unit_square(n)
+        prob = Problem(mesh, DiffusionForm(degree=2))
+        part = partition_mesh(mesh, nparts, seed=seed)
+        dec = Decomposition(prob, part, delta=1)
+        for s in dec.subdomains:
+            for j in s.neighbors:
+                o = dec.subdomains[j]
+                assert np.array_equal(s.dofs[s.shared[j]],
+                                      o.dofs[o.shared[s.index]])
+
+
+class TestStiffnessInvariance:
+    @given(shift_x=st.floats(-3, 3), shift_y=st.floats(-3, 3),
+           scale=st.floats(0.5, 4.0))
+    @settings(max_examples=10, deadline=None)
+    def test_translation_invariance(self, shift_x, shift_y, scale):
+        """The Laplace stiffness matrix is translation-invariant and
+        scales like h^{d-2} (= 1 in 2D) under uniform dilation."""
+        base = unit_square(3)
+        V1 = FunctionSpace(base, 2)
+        A1 = assemble_stiffness(V1)
+        from repro.mesh import SimplexMesh
+        moved = SimplexMesh(scale * base.vertices +
+                            np.array([shift_x, shift_y]), base.cells)
+        V2 = FunctionSpace(moved, 2)
+        A2 = assemble_stiffness(V2)
+        assert abs(A1 - A2).max() < 1e-10 * abs(A1).max()
+
+
+class TestRefinementProperties:
+    @given(nx=st.integers(2, 6), ny=st.integers(2, 6),
+           times=st.integers(1, 2))
+    @settings(max_examples=10, deadline=None)
+    def test_counts_and_volume(self, nx, ny, times):
+        m = rectangle(nx, ny)
+        r = refine_uniform(m, times)
+        assert r.num_cells == m.num_cells * 4 ** times
+        assert r.total_volume() == pytest.approx(m.total_volume())
+        # conforming: Euler characteristic of a disc is preserved
+        assert (r.num_vertices - r.edges.shape[0] + r.num_cells) == \
+            (m.num_vertices - m.edges.shape[0] + m.num_cells)
+
+
+class TestSimMPIProperties:
+    @given(nranks=st.integers(2, 6), seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_allreduce_matches_numpy(self, nranks, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((nranks, 5))
+
+        def fn(comm):
+            return comm.allreduce(data[comm.rank])
+
+        out = run_spmd(nranks, fn)
+        for o in out:
+            assert np.allclose(o, data.sum(axis=0))
+
+    @given(nranks=st.integers(2, 5), root=st.integers(0, 4),
+           seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_gather_scatter_roundtrip(self, nranks, root, seed):
+        root = root % nranks
+        rng = np.random.default_rng(seed)
+        payload = [rng.standard_normal(rng.integers(1, 6))
+                   for _ in range(nranks)]
+
+        def fn(comm):
+            g = comm.gather(payload[comm.rank], root=root)
+            if comm.rank == root:
+                back = comm.scatter(g, root=root)
+            else:
+                back = comm.scatter(None, root=root)
+            return back
+
+        out = run_spmd(nranks, fn)
+        for r in range(nranks):
+            assert np.allclose(out[r], payload[r])
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_meter_bytes_match_payload(self, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.standard_normal(rng.integers(1, 50))
+        meter = Meter(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(arr, 1)
+            else:
+                comm.recv(0)
+
+        run_spmd(2, fn, meter=meter)
+        assert meter.total_bytes() == payload_bytes(arr) == arr.nbytes
+
+
+class TestKrylovProperties:
+    @given(n=st.integers(3, 25), seed=st.integers(0, 100),
+           tol_exp=st.integers(6, 10))
+    @settings(max_examples=12, deadline=None)
+    def test_gmres_residual_guarantee(self, n, seed, tol_exp):
+        """Whenever GMRES reports convergence, the true residual meets
+        the tolerance (up to roundoff slack)."""
+        from repro.krylov import gmres
+        rng = np.random.default_rng(seed)
+        M = rng.standard_normal((n, n))
+        A = M @ M.T + n * np.eye(n)
+        b = rng.standard_normal(n)
+        tol = 10.0 ** (-tol_exp)
+        res = gmres(A, b, tol=tol, restart=n + 2, maxiter=20 * n)
+        if res.converged:
+            assert np.linalg.norm(A @ res.x - b) <= \
+                10 * tol * np.linalg.norm(b)

@@ -1,0 +1,74 @@
+"""Tests for the decomposition report and the MMS convergence tool."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import FEMError
+from repro.dd import decomposition_report
+from repro.fem import ConvergenceStudy, convergence_study
+from repro.mesh import refine_uniform, unit_square
+
+
+class TestDecompositionReport:
+    def test_basic_quantities(self, diffusion_decomposition):
+        rep = decomposition_report(diffusion_decomposition)
+        dec = diffusion_decomposition
+        assert rep.num_subdomains == dec.num_subdomains
+        assert rep.delta == dec.delta
+        assert rep.n_free == dec.problem.num_free
+        assert rep.sizes.sum() >= rep.n_free       # overlaps duplicate
+        assert rep.max_multiplicity >= 2
+        assert 0 < rep.mean_overlap_fraction <= 1
+
+    def test_core_plus_overlap_is_size(self, diffusion_decomposition):
+        rep = decomposition_report(diffusion_decomposition)
+        overlap_counts = (rep.overlap_fractions * rep.sizes).round()
+        assert np.allclose(rep.core_sizes + overlap_counts, rep.sizes)
+
+    def test_render_contains_rows(self, diffusion_decomposition):
+        out = decomposition_report(diffusion_decomposition).render()
+        assert "subdomains N" in out
+        assert "overlap fraction" in out
+
+    def test_cli_decomposition_flag(self, capsys):
+        from repro.cli import main
+        rc = main(["info", "--problem", "diffusion2d", "--n", "10",
+                   "-N", "2", "--decomposition"])
+        assert rc == 0
+        assert "decomposition report" in capsys.readouterr().out
+
+
+class TestConvergenceStudy:
+    @pytest.fixture(scope="class")
+    def meshes(self):
+        m0 = unit_square(4)
+        return [m0, refine_uniform(m0, 1), refine_uniform(m0, 2)]
+
+    @staticmethod
+    def exact(x):
+        return np.sin(np.pi * x[:, 0]) * np.cos(np.pi * x[:, 1])
+
+    @staticmethod
+    def rhs(x):
+        return 2 * np.pi ** 2 * TestConvergenceStudy.exact(x)
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_optimal_rates(self, meshes, k):
+        st = convergence_study(meshes, k, self.exact, self.rhs)
+        assert st.is_optimal()
+        assert st.errors[-1] < st.errors[0]
+
+    def test_with_coefficient(self, meshes):
+        """Manufactured solution with κ = 2: rhs doubles."""
+        st = convergence_study(meshes, 1, self.exact,
+                               lambda x: 2 * self.rhs(x), kappa=2.0)
+        assert st.is_optimal()
+
+    def test_render(self, meshes):
+        st = convergence_study(meshes[:2], 1, self.exact, self.rhs)
+        out = st.render()
+        assert "L2 error" in out and "rate" in out
+
+    def test_needs_two_meshes(self, meshes):
+        with pytest.raises(FEMError):
+            convergence_study(meshes[:1], 1, self.exact, self.rhs)

@@ -1,0 +1,139 @@
+"""Robustness tests: connectivity enforcement, carve pruning,
+rank-deficient coarse operators, property-based exchange identities."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from repro.core import CoarseOperator, DeflationSpace, compute_deflation
+from repro.core.coarse import _PseudoInverse
+from repro.mesh import carve, tripod_3d, unit_cube, unit_square
+from repro.partition import enforce_connected, parts_connected, partition_mesh
+
+
+class TestEnforceConnected:
+    def _path(self, n):
+        rows = np.arange(n - 1)
+        g = sp.coo_matrix((np.ones(n - 1), (rows, rows + 1)), shape=(n, n))
+        return (g + g.T).tocsr()
+
+    def test_merges_stray_component(self):
+        g = self._path(10)
+        part = np.array([0, 0, 0, 1, 1, 1, 0, 0, 1, 1])
+        fixed = enforce_connected(g, part)
+        assert parts_connected(g, fixed)
+
+    def test_noop_on_connected(self):
+        g = self._path(8)
+        part = np.array([0] * 4 + [1] * 4)
+        assert np.array_equal(enforce_connected(g, part), part)
+
+    @pytest.mark.parametrize("gen,k", [(lambda: unit_square(20), 24),
+                                       (lambda: unit_cube(6), 16)])
+    def test_mesh_partitions_connected(self, gen, k):
+        m = gen()
+        part = partition_mesh(m, k, seed=0)
+        assert parts_connected(m.dual_graph, part)
+
+    def test_all_parts_survive(self):
+        m = unit_square(16)
+        for k in (7, 13, 24):
+            part = partition_mesh(m, k, seed=1)
+            assert set(part) == set(range(k))
+
+
+class TestCarvePruning:
+    def test_tripod_single_component(self):
+        from scipy.sparse.csgraph import connected_components
+        m = tripod_3d(3)
+        ncomp, _ = connected_components(m.dual_graph, directed=False)
+        assert ncomp == 1
+
+    def test_prune_false_keeps_strays(self):
+        m = unit_square(6)
+
+        def keep(c):
+            # two diagonal blobs touching only at a corner vertex
+            return ((c[:, 0] < 0.5) & (c[:, 1] < 0.5)) | \
+                   ((c[:, 0] > 0.5) & (c[:, 1] > 0.5))
+
+        from scipy.sparse.csgraph import connected_components
+        raw = carve(m, keep, prune=False)
+        nc_raw, _ = connected_components(raw.dual_graph, directed=False)
+        pruned = carve(m, keep)
+        nc_pr, _ = connected_components(pruned.dual_graph, directed=False)
+        assert nc_raw == 2
+        assert nc_pr == 1
+
+
+class TestRankDeficientCoarse:
+    def test_pseudo_inverse_fallback(self, diffusion_decomposition):
+        """Duplicated deflation columns → singular E → the operator must
+        detect it and still produce a usable correction."""
+        dec = diffusion_decomposition
+        Ws = []
+        for s in dec.subdomains:
+            W = compute_deflation(s, nev=2, seed=s.index).W
+            Ws.append(np.column_stack([W, W[:, :1]]))     # duplicate!
+        space = DeflationSpace(dec, Ws)
+        op = CoarseOperator(space)
+        assert op.rank_deficient
+        # the correction still reproduces coarse-space vectors
+        rng = np.random.default_rng(0)
+        y = rng.standard_normal(space.m)
+        Zy = space.explicit_z() @ y
+        A = dec.problem.matrix()
+        out = op.correction(A @ Zy)
+        assert np.allclose(out, Zy, atol=1e-6 * max(abs(Zy).max(), 1e-30))
+
+    def test_healthy_e_uses_factorization(self, diffusion_decomposition):
+        dec = diffusion_decomposition
+        Ws = [compute_deflation(s, nev=2, seed=s.index).W
+              for s in dec.subdomains]
+        op = CoarseOperator(DeflationSpace(dec, Ws))
+        assert not op.rank_deficient
+
+    def test_pseudo_inverse_solver(self):
+        rng = np.random.default_rng(1)
+        V = np.linalg.qr(rng.standard_normal((20, 20)))[0]
+        w = np.concatenate([np.linspace(1, 5, 17), np.zeros(3)])
+        E = sp.csr_matrix(V @ np.diag(w) @ V.T)
+        pinv = _PseudoInverse(E, 1e-10)
+        assert pinv.rank == 17
+        b = V[:, 0] * 2.5                       # in range(E)
+        x = pinv.solve(b)
+        assert np.allclose(E @ x, b, atol=1e-9)
+
+
+class TestExchangeProperties:
+    def test_exchange_linear(self, diffusion_decomposition, rng):
+        dec = diffusion_decomposition
+        xs = [rng.standard_normal(s.size) for s in dec.subdomains]
+        ys = [rng.standard_normal(s.size) for s in dec.subdomains]
+        a, b = 2.0, -3.0
+        lhs = dec.exchange_sum([a * x + b * y for x, y in zip(xs, ys)])
+        ex_x = dec.exchange_sum(xs)
+        ex_y = dec.exchange_sum(ys)
+        for li, xi, yi in zip(lhs, ex_x, ex_y):
+            assert np.allclose(li, a * xi + b * yi)
+
+    def test_exchange_of_consistent_is_multiplicity(self,
+                                                    diffusion_decomposition,
+                                                    rng):
+        """For consistent inputs x_i = R_i x, the exchange returns the
+        multiplicity-weighted vector: Σ_j R_iR_jᵀ R_j x = R_i (Σ R_jᵀR_j) x."""
+        dec = diffusion_decomposition
+        x = rng.standard_normal(dec.problem.num_free)
+        out = dec.exchange_sum(dec.restrict(x))
+        mult = dec.multiplicity.astype(np.float64)
+        for s, oi in zip(dec.subdomains, out):
+            assert np.allclose(oi, (mult * x)[s.dofs])
+
+    def test_combine_raw_adjoint_of_restrict(self, diffusion_decomposition,
+                                             rng):
+        """⟨Σ R_iᵀ u_i, v⟩ = Σ ⟨u_i, R_i v⟩."""
+        dec = diffusion_decomposition
+        us = [rng.standard_normal(s.size) for s in dec.subdomains]
+        v = rng.standard_normal(dec.problem.num_free)
+        lhs = dec.combine_raw(us) @ v
+        rhs = sum(u @ vi for u, vi in zip(us, dec.restrict(v)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)

@@ -1,0 +1,235 @@
+"""Tests for the direct-solver substrate: all backends + distributed."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SolverError
+from repro.fem import FunctionSpace, assemble_load, assemble_stiffness, restrict_to_free
+from repro.mesh import unit_square
+from repro.mpi import run_spmd
+from repro.solvers import (
+    BACKENDS,
+    DistributedCholesky,
+    SparseLDL,
+    bandwidth,
+    elimination_tree,
+    factorize,
+    reverse_cuthill_mckee,
+)
+
+
+@pytest.fixture(scope="module")
+def spd_system():
+    m = unit_square(8)
+    V = FunctionSpace(m, 2)
+    A = assemble_stiffness(V)
+    b = assemble_load(V, 1.0)
+    Aff, bf, _ = restrict_to_free(A, b, V.boundary_dofs())
+    xref = spla.spsolve(Aff.tocsc(), bf)
+    return Aff.tocsr(), bf, xref
+
+
+class TestBackends:
+    @pytest.mark.parametrize("method", BACKENDS)
+    def test_solve_vector(self, spd_system, method):
+        A, b, xref = spd_system
+        f = factorize(A, method)
+        x = f.solve(b)
+        assert np.linalg.norm(x - xref) <= 1e-10 * np.linalg.norm(xref)
+
+    @pytest.mark.parametrize("method", BACKENDS)
+    def test_solve_block(self, spd_system, method):
+        A, b, xref = spd_system
+        f = factorize(A, method)
+        X = f.solve(np.column_stack([b, -b, 2 * b]))
+        assert np.allclose(X[:, 1], -xref, atol=1e-8 * abs(xref).max())
+        assert np.allclose(X[:, 2], 2 * xref, atol=1e-8 * abs(xref).max())
+
+    @pytest.mark.parametrize("method", BACKENDS)
+    def test_nnz_factor_positive(self, spd_system, method):
+        A, _, _ = spd_system
+        assert factorize(A, method).nnz_factor > 0
+
+    def test_unknown_backend(self, spd_system):
+        A, _, _ = spd_system
+        with pytest.raises(SolverError):
+            factorize(A, "mumps")
+
+    def test_shift_regularises_singular(self):
+        """A singular Neumann-like matrix factorises once shifted."""
+        n = 10
+        A = sp.diags([np.full(n - 1, -1.0), np.full(n, 2.0),
+                      np.full(n - 1, -1.0)], [-1, 0, 1]).tocsr()
+        A = A.tolil()
+        A[0, 0] = 1.0
+        A[-1, -1] = 1.0              # 1D pure-Neumann Laplacian: singular
+        A = A.tocsr()
+        with pytest.raises(SolverError):
+            factorize(A, "ldl")
+        f = factorize(A, "ldl", shift=1e-8)
+        x = f.solve(np.ones(n))
+        assert np.isfinite(x).all()
+
+
+class TestSparseLDL:
+    def test_matches_dense(self, rng):
+        n = 40
+        M = rng.standard_normal((n, n))
+        A = sp.csr_matrix(M @ M.T + n * np.eye(n))
+        ldl = SparseLDL(A)
+        b = rng.standard_normal(n)
+        assert np.allclose(ldl.solve(b), np.linalg.solve(A.toarray(), b))
+
+    def test_inertia_spd(self, spd_system):
+        A, _, _ = spd_system
+        ldl = SparseLDL(A)
+        pos, neg, zero = ldl.inertia()
+        assert (pos, neg, zero) == (A.shape[0], 0, 0)
+
+    def test_inertia_indefinite(self):
+        A = sp.csr_matrix(np.diag([2.0, -3.0, 1.0]))
+        pos, neg, zero = SparseLDL(A).inertia()
+        assert (pos, neg) == (2, 1)
+
+    def test_permutation_improves_fill(self, spd_system):
+        A, _, _ = spd_system
+        plain = SparseLDL(A)
+        rcm = SparseLDL(A, perm=reverse_cuthill_mckee(A))
+        # arrow-free FEM matrix: RCM should not *hurt* much
+        assert rcm.nnz_factor <= 3 * plain.nnz_factor
+
+    def test_zero_pivot_raises(self):
+        A = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SolverError):
+            SparseLDL(A)
+
+    def test_elimination_tree_chain(self):
+        # tridiagonal matrix: etree is a path
+        n = 6
+        A = sp.diags([np.ones(n - 1), 3 * np.ones(n), np.ones(n - 1)],
+                     [-1, 0, 1]).tocsc()
+        parent = elimination_tree(sp.triu(A, format="csc"))
+        assert parent.tolist() == [1, 2, 3, 4, 5, -1]
+
+    @given(st.integers(min_value=2, max_value=25), st.integers(0, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_random_spd_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.standard_normal((n, n))
+        dense = M @ M.T + n * np.eye(n)
+        # sparsify: drop small entries symmetrically, keep diagonal dominance
+        dense[np.abs(dense) < 0.5] = 0.0
+        dense += n * np.eye(n)
+        A = sp.csr_matrix(dense)
+        b = rng.standard_normal(n)
+        x = SparseLDL(A).solve(b)
+        assert np.allclose(A @ x, b, atol=1e-8 * max(1, abs(b).max()))
+
+
+class TestOrderings:
+    def test_rcm_is_permutation(self, spd_system):
+        A, _, _ = spd_system
+        p = reverse_cuthill_mckee(A)
+        assert np.array_equal(np.sort(p), np.arange(A.shape[0]))
+
+    def test_rcm_reduces_bandwidth(self, spd_system):
+        A, _, _ = spd_system
+        p = reverse_cuthill_mckee(A)
+        assert bandwidth(A[p][:, p]) < bandwidth(A)
+
+    def test_rcm_disconnected(self):
+        A = sp.block_diag([np.array([[2.0, 1], [1, 2]])] * 3).tocsr()
+        p = reverse_cuthill_mckee(A)
+        assert np.array_equal(np.sort(p), np.arange(6))
+
+    def test_bandwidth_diagonal(self):
+        assert bandwidth(sp.eye(5, format="csr")) == 0
+
+
+class TestDistributedCholesky:
+    def _reference(self, n, seed=0):
+        rng = np.random.default_rng(seed)
+        M = rng.standard_normal((n, n))
+        E = M @ M.T + n * np.eye(n)
+        b = rng.standard_normal(n)
+        return E, b, np.linalg.solve(E, b)
+
+    @pytest.mark.parametrize("P", [1, 2, 3, 5])
+    def test_matches_numpy(self, P):
+        n = 29
+        E, b, xref = self._reference(n)
+        rs = np.linspace(0, n, P + 1).astype(np.int64)
+
+        def fn(comm):
+            p = comm.rank
+            f = DistributedCholesky(comm, rs, E[rs[p]:rs[p + 1]])
+            return f.solve(b[rs[p]:rs[p + 1]])
+
+        x = np.concatenate(run_spmd(P, fn))
+        assert np.linalg.norm(x - xref) <= 1e-10 * np.linalg.norm(xref)
+
+    def test_uneven_blocks(self):
+        n = 17
+        E, b, xref = self._reference(n, seed=3)
+        rs = np.array([0, 2, 11, 17])
+
+        def fn(comm):
+            p = comm.rank
+            f = DistributedCholesky(comm, rs, E[rs[p]:rs[p + 1]])
+            return f.solve(b[rs[p]:rs[p + 1]])
+
+        x = np.concatenate(run_spmd(3, fn))
+        assert np.allclose(x, xref)
+
+    def test_empty_block(self):
+        n = 8
+        E, b, xref = self._reference(n, seed=5)
+        rs = np.array([0, 4, 4, 8])       # middle master owns nothing
+
+        def fn(comm):
+            p = comm.rank
+            f = DistributedCholesky(comm, rs, E[rs[p]:rs[p + 1]])
+            return f.solve(b[rs[p]:rs[p + 1]])
+
+        parts = run_spmd(3, fn)
+        assert np.allclose(np.concatenate(parts), xref)
+
+    def test_not_spd_raises(self):
+        E = -np.eye(4)
+        rs = np.array([0, 2, 4])
+
+        def fn(comm):
+            p = comm.rank
+            DistributedCholesky(comm, rs, E[rs[p]:rs[p + 1]])
+
+        with pytest.raises(SolverError):
+            run_spmd(2, fn)
+
+    def test_shape_validation(self):
+        def fn(comm):
+            DistributedCholesky(comm, np.array([0, 2, 4]), np.zeros((3, 4)))
+
+        with pytest.raises(SolverError):
+            run_spmd(2, fn)
+
+    def test_multiple_solves_reuse_factorization(self):
+        n = 12
+        E, b, xref = self._reference(n, seed=7)
+        rs = np.array([0, 6, 12])
+
+        def fn(comm):
+            p = comm.rank
+            f = DistributedCholesky(comm, rs, E[rs[p]:rs[p + 1]])
+            x1 = f.solve(b[rs[p]:rs[p + 1]])
+            x2 = f.solve(2 * b[rs[p]:rs[p + 1]])
+            return x1, x2
+
+        parts = run_spmd(2, fn)
+        x1 = np.concatenate([p[0] for p in parts])
+        x2 = np.concatenate([p[1] for p in parts])
+        assert np.allclose(x1, xref)
+        assert np.allclose(x2, 2 * xref)

@@ -1,0 +1,84 @@
+"""Tests for the SPMD execution tracer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.mpi import Meter, Tracer
+from repro.mpi.trace import Span
+
+
+class TestTracer:
+    def test_records_spans(self):
+        tr = Tracer(2)
+        with tr.span(0, "work"):
+            time.sleep(0.002)
+        with tr.span(1, "other"):
+            pass
+        assert len(tr.spans[0]) == 1
+        assert tr.spans[0][0].label == "work"
+        assert tr.spans[0][0].duration >= 0.002
+
+    def test_totals_accumulate(self):
+        tr = Tracer(1)
+        for _ in range(3):
+            with tr.span(0, "a"):
+                time.sleep(0.001)
+        assert tr.totals(0)["a"] >= 0.003
+
+    def test_summary_max_over_ranks(self):
+        tr = Tracer(2)
+        tr.spans[0].append(Span("a", 0.0, 1.0))
+        tr.spans[1].append(Span("a", 0.0, 3.0))
+        assert tr.summary()["a"] == pytest.approx(3.0)
+
+    def test_gantt_renders(self):
+        tr = Tracer(3)
+        tr.spans[0].append(Span("compute", 0.0, 0.5))
+        tr.spans[1].append(Span("exchange", 0.3, 0.9))
+        out = tr.gantt(width=40)
+        assert "rank   0" in out and "rank   2" in out
+        assert "compute" in out and "exchange" in out
+
+    def test_gantt_empty(self):
+        assert "(no spans" in Tracer(2).gantt()
+
+    def test_gantt_caps_ranks(self):
+        tr = Tracer(20)
+        for r in range(20):
+            tr.spans[r].append(Span("x", 0, 1))
+        out = tr.gantt(max_ranks=4)
+        assert "more ranks" in out
+
+    def test_exception_still_closes_span(self):
+        tr = Tracer(1)
+        with pytest.raises(ValueError):
+            with tr.span(0, "boom"):
+                raise ValueError()
+        assert len(tr.spans[0]) == 1
+
+
+class TestTracerIntegration:
+    def test_spmd_solve_records_phases(self):
+        from repro import SchwarzSolver
+        from repro.core.spmd import solve_spmd
+        from repro.fem.forms import DiffusionForm
+        from repro.mesh import unit_square
+
+        mesh = unit_square(12)
+        s = SchwarzSolver(mesh, DiffusionForm(degree=2),
+                          num_subdomains=4, nev=3)
+        meter = Meter(4)
+        meter.tracer = Tracer(4)
+        b = s.problem.rhs()
+        solve_spmd(s.decomposition, s.deflation, b, num_masters=2,
+                   tol=1e-6, maxiter=60, meter=meter)
+        summ = meter.tracer.summary()
+        assert "matvec" in summ
+        assert "local solve" in summ
+        assert "coarse solve" in summ      # recorded on the masters
+        # only masters solve the coarse system
+        solvers = [r for r in range(4)
+                   if "coarse solve" in meter.tracer.totals(r)]
+        assert len(solvers) == 2
