@@ -8,6 +8,7 @@ representative kernel per experiment.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
@@ -24,6 +25,15 @@ def write_result(name: str, text: str) -> None:
     path = RESULTS / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def write_json(name: str, payload: dict) -> None:
+    """Machine-readable companion to :func:`write_result` — trajectory
+    numbers (speedups, call counts) land in ``results/<name>.json``."""
+    RESULTS.mkdir(exist_ok=True)
+    path = RESULTS / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[json written to {path}]")
 
 
 # ----------------------------------------------------------------------

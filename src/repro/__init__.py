@@ -8,6 +8,7 @@ subpackages ``mesh``, ``fem``, ``partition``, ``dd``, ``core``,
 """
 
 from .core.solver import SchwarzSolver, SolveReport
+from .parallel import ParallelConfig
 
 __version__ = "1.0.0"
-__all__ = ["SchwarzSolver", "SolveReport", "__version__"]
+__all__ = ["SchwarzSolver", "SolveReport", "ParallelConfig", "__version__"]

@@ -24,8 +24,9 @@ import sys
 
 import numpy as np
 
-from . import SchwarzSolver
+from . import ParallelConfig, SchwarzSolver
 from .common.asciiplot import semilogy, table
+from .common.errors import ReproError
 from .fem import channels_and_inclusions, layered_elasticity
 from .fem.forms import DiffusionForm, ElasticityForm
 from .mesh import cantilever_2d, unit_cube, unit_square
@@ -66,11 +67,16 @@ def build_problem(args):
 
 def cmd_solve(args) -> int:
     mesh, form, clamp = build_problem(args)
+    try:
+        parallel = ParallelConfig(args.parallel,
+                                  workers=args.workers or None)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
     solver = SchwarzSolver(
         mesh, form, num_subdomains=args.subdomains, delta=args.delta,
         nev=args.nev, levels=args.levels, krylov=args.krylov,
         partition_method=args.partitioner, dirichlet=clamp,
-        seed=args.seed)
+        seed=args.seed, parallel=parallel)
     report = solver.solve(tol=args.tol, restart=args.restart,
                           maxiter=args.maxiter)
     rows = [["problem", args.problem],
@@ -153,6 +159,12 @@ def make_parser() -> argparse.ArgumentParser:
     ps.add_argument("--tol", type=float, default=1e-6)
     ps.add_argument("--restart", type=int, default=40)
     ps.add_argument("--maxiter", type=int, default=400)
+    ps.add_argument("--parallel", default="serial",
+                    choices=("serial", "threads"),
+                    help="executor for the per-subdomain setup loops")
+    ps.add_argument("--workers", type=int, default=0,
+                    help="thread count for --parallel threads "
+                         "(0 = auto-size to the machine)")
     ps.add_argument("--plot", action="store_true",
                     help="print the ASCII convergence curve")
     ps.add_argument("--vtk", default="",

@@ -23,34 +23,56 @@ import scipy.sparse as sp
 
 from ..common.errors import DecompositionError
 from ..dd.decomposition import Decomposition
+from ..parallel import ParallelConfig, parallel_map
 from ..solvers import factorize
 from .deflation import DeflationSpace
 
 
-def coarse_blocks(space: DeflationSpace) -> dict[tuple[int, int], np.ndarray]:
-    """All blocks E_{i,j} (i row, j ∈ Ō_i) via the three-step algorithm."""
+def coarse_blocks(space: DeflationSpace,
+                  parallel: ParallelConfig | str | None = None,
+                  ) -> dict[tuple[int, int], np.ndarray]:
+    """All blocks E_{i,j} (i row, j ∈ Ō_i) via the three-step algorithm.
+
+    Steps 1 and 3 are per-subdomain local gemms and run under the
+    parallel setup engine; step 2 (the neighbour exchange) is index
+    plumbing on the already-computed T blocks.
+    """
     dec = space.dec
     subs = dec.subdomains
-    # step 1: T_i = A_i W_i, diagonal block
-    T = [s.A_dir @ W for s, W in zip(subs, space.W)]
+    # step 1: T_i = A_i W_i (csrmm), diagonal block E_{i,i} = W_iᵀ T_i
+
+    def local_products(i: int) -> tuple[np.ndarray, np.ndarray]:
+        Ti = subs[i].A_dir @ space.W[i]
+        return Ti, space.W[i].T @ Ti
+
+    step1 = parallel_map(local_products, range(len(subs)), parallel)
+    T = [t for t, _ in step1]
     blocks: dict[tuple[int, int], np.ndarray] = {}
-    for s, W, Ti in zip(subs, space.W, T):
-        blocks[(s.index, s.index)] = W.T @ Ti
+    for s, (_, Eii) in zip(subs, step1):
+        blocks[(s.index, s.index)] = Eii
     # steps 2+3: neighbour exchange of the overlap rows of T, then gemm.
     # E_{i,j} = W_iᵀ R_iR_jᵀ T_j = W_i[shared_ij]ᵀ T_j[shared_ji]
-    for s in subs:
+
+    def off_diag(s) -> list[tuple[tuple[int, int], np.ndarray]]:
         i = s.index
+        out = []
         for j in s.neighbors:
             Wi_rows = space.W[i][s.shared[j]]
             Tj_rows = T[j][subs[j].shared[i]]
-            blocks[(i, j)] = Wi_rows.T @ Tj_rows
+            out.append(((i, j), Wi_rows.T @ Tj_rows))
+        return out
+
+    for part in parallel_map(off_diag, subs, parallel):
+        blocks.update(part)
     return blocks
 
 
-def assemble_coarse_matrix(space: DeflationSpace) -> sp.csr_matrix:
+def assemble_coarse_matrix(space: DeflationSpace,
+                           parallel: ParallelConfig | str | None = None,
+                           ) -> sp.csr_matrix:
     """Sparse E from the block dictionary (global CSR, the masters'
     distributed format in §3.1.1 — here sequential)."""
-    blocks = coarse_blocks(space)
+    blocks = coarse_blocks(space, parallel)
     off = space.offsets
     rows, cols, vals = [], [], []
     for (i, j), blk in blocks.items():
@@ -137,12 +159,15 @@ class CoarseOperator:
         The deflation space (defines Z and the block structure of E).
     backend:
         Local factorization backend for E.
+    parallel:
+        Executor for the per-subdomain assembly gemms.
     """
 
     def __init__(self, space: DeflationSpace, *, backend: str = "superlu",
-                 rank_tol: float = 1e-10):
+                 rank_tol: float = 1e-10,
+                 parallel: ParallelConfig | str | None = None):
         self.space = space
-        self.E = assemble_coarse_matrix(space)
+        self.E = assemble_coarse_matrix(space, parallel)
         self.rank_deficient = False
         self.factorization = self._robust_factorize(backend, rank_tol)
         self.solves = 0

@@ -26,7 +26,7 @@ import scipy.sparse as sp
 
 from ..common.errors import EigenError
 from ..dd.decomposition import Subdomain
-from ..eigen import lanczos_generalized
+from ..eigen import lanczos_generalized, subspace_iteration
 from ..solvers import factorize
 
 #: relative diagonal shift regularising the (possibly singular) Neumann matrix
@@ -71,7 +71,8 @@ def compute_deflation(sub: Subdomain, *, nev: int = 10,
         Optional threshold: keep only eigenpairs with λ < τ (at most
         *nev*).  ``None`` keeps exactly *nev*.
     method:
-        ``"lanczos"`` (the from-scratch ARPACK substitute) or ``"scipy"``
+        ``"lanczos"`` (the from-scratch ARPACK substitute),
+        ``"subspace"`` (blocked subspace iteration) or ``"scipy"``
         (cross-check via ``scipy.sparse.linalg.eigsh``).
     """
     A, B = geneo_pencil(sub)
@@ -85,8 +86,13 @@ def compute_deflation(sub: Subdomain, *, nev: int = 10,
     Mf = factorize(M, "superlu")
 
     if method == "lanczos":
-        res = lanczos_generalized(lambda x: B @ x, Mf, lambda x: M @ x,
-                                  n, nev, seed=seed)
+        # sparse matrices, not per-vector lambdas: the eigensolver's
+        # blocked kernels then run csrmm / multi-RHS solves directly
+        res = lanczos_generalized(B, Mf, M, n, nev, seed=seed)
+        mu = res.values
+        vecs = res.vectors
+    elif method == "subspace":
+        res = subspace_iteration(B, Mf, M, n, nev, seed=seed)
         mu = res.values
         vecs = res.vectors
     elif method == "scipy":

@@ -24,6 +24,7 @@ import scipy.sparse as sp
 from ..common.errors import DecompositionError
 from ..fem.space import FunctionSpace
 from ..mesh import SimplexMesh
+from ..parallel import ParallelConfig, parallel_map, resolve_parallel
 from .dofmap import map_vector_dofs
 from .overlap import grow_overlap
 from .pou import chi_tilde, expand_to_vector, pou_diagonal
@@ -80,9 +81,14 @@ class Decomposition:
     delta:
         Overlap width δ >= 1 (the paper's strong-scaling runs use the
         minimal geometric overlap δ = 1).
+    parallel:
+        Executor for the per-subdomain extraction/assembly loop
+        (:class:`~repro.parallel.ParallelConfig`, a backend name, or
+        ``None`` for serial).  Results are executor-independent.
     """
 
-    def __init__(self, problem: Problem, part: np.ndarray, delta: int = 1):
+    def __init__(self, problem: Problem, part: np.ndarray, delta: int = 1,
+                 *, parallel: ParallelConfig | str | None = None):
         part = np.asarray(part, dtype=np.int64)
         if part.shape != (problem.mesh.num_cells,):
             raise DecompositionError(
@@ -93,6 +99,7 @@ class Decomposition:
         self.problem = problem
         self.part = part
         self.delta = int(delta)
+        self.parallel = resolve_parallel(parallel)
         self.num_subdomains = int(part.max()) + 1
         self._build_subdomains()
         self._apply_scaling()
@@ -123,16 +130,24 @@ class Decomposition:
         gspace = problem.space
         N = self.num_subdomains
 
+        # pre-warm the shared caches every task reads (mesh topology and
+        # the global dof layout), so concurrent tasks never race to
+        # populate a lazily-computed attribute
+        mesh.vertex_to_cells
+        gspace.cell_scalar_dofs
+        gspace.cell_dofs
+
         # grow to δ+1 once; T_i^δ is the layer <= δ prefix
-        grown = [grow_overlap(mesh, self.part, i, delta + 1) for i in range(N)]
+        grown = parallel_map(
+            lambda i: grow_overlap(mesh, self.part, i, delta + 1),
+            range(N), self.parallel)
         overlaps_d = []
         for cells, layers in grown:
             keep = layers <= delta
             overlaps_d.append((cells[keep], layers[keep]))
         chi, chi_total = chi_tilde(mesh, overlaps_d, delta)
 
-        subs: list[Subdomain] = []
-        for i in range(N):
+        def build_one(i: int) -> Subdomain:
             cells_dp1, _ = grown[i]
             cells_d, layers_d = overlaps_d[i]
 
@@ -173,10 +188,11 @@ class Decomposition:
             d_scal = pou_diagonal(space0, chi_vals, chi_total[vmap0])
             d = expand_to_vector(d_scal, gspace.ncomp)[keep]
 
-            subs.append(Subdomain(
+            return Subdomain(
                 index=i, cells=cells_d, layers=layers_d, mesh=smesh0,
-                space=space0, dofs=dofs, A_dir=A_dir, A_neu=A_neu, d=d))
-        self.subdomains = subs
+                space=space0, dofs=dofs, A_dir=A_dir, A_neu=A_neu, d=d)
+
+        self.subdomains = parallel_map(build_one, range(N), self.parallel)
 
     # ------------------------------------------------------------------
     def _build_exchange(self) -> None:

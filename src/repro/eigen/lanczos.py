@@ -7,6 +7,15 @@ B symmetric positive semi-definite), M-orthonormal basis, full
 reorthogonalisation, Ritz extraction, residual-based convergence.  The
 GenEO driver calls it for the *largest* μ of a transformed pencil, which
 is Lanczos's easy regime (ARPACK's shift-invert does the same thing).
+
+Operators may be passed either as callables (vector → vector) or as
+sparse/dense matrices; matrices unlock the blocked paths — multi-RHS
+``M_factor.solve(B @ X)`` in :func:`subspace_iteration`, block products
+in the orthogonalisation — which cut the solve/matvec call counts by an
+order of magnitude (one blocked call per iteration instead of one per
+column).  Lanczos additionally caches ``M @ v_j`` as columns are added,
+so full reorthogonalisation reuses them instead of recomputing
+``M_mul(V[:, j])`` on every pass.
 """
 
 from __future__ import annotations
@@ -29,6 +38,26 @@ class EigenResult:
     residuals: np.ndarray
 
 
+def _as_operator(op):
+    """Normalise an operator argument to a function on vectors *and* blocks.
+
+    *op* may be anything supporting ``@`` — a sparse matrix, an ndarray,
+    or a linear-operator wrapper — applied directly, so a column block
+    costs one csrmm/gemm; or a vector-only callable (blocks fall back to
+    a per-column loop — the legacy path, kept for API compatibility with
+    per-vector lambdas).
+    """
+    if not callable(op):
+        return lambda x: op @ x
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        if x.ndim == 1:
+            return op(x)
+        return np.column_stack([op(x[:, i]) for i in range(x.shape[1])])
+
+    return apply
+
+
 def lanczos_generalized(B_mul, M_factor: Factorization, M_mul, n: int,
                         nev: int, *, maxiter: int | None = None,
                         tol: float = 1e-8, seed: int = 0) -> EigenResult:
@@ -37,7 +66,7 @@ def lanczos_generalized(B_mul, M_factor: Factorization, M_mul, n: int,
     Parameters
     ----------
     B_mul, M_mul:
-        Matrix–vector products with B and M.
+        B and M as sparse matrices / ndarrays, or matrix–vector callables.
     M_factor:
         Factorisation of M (provides the solve in ``w = M⁻¹ B v``).
     n:
@@ -53,36 +82,45 @@ def lanczos_generalized(B_mul, M_factor: Factorization, M_mul, n: int,
         maxiter = min(n, max(4 * nev + 40, 60))
     maxiter = min(maxiter, n)
     rng = np.random.default_rng(seed)
+    B_op = _as_operator(B_mul)
+    M_op = _as_operator(M_mul)
 
     V = np.zeros((n, maxiter + 1))
+    #: MV[:, j] = M @ V[:, j], cached so reorthogonalisation never
+    #: recomputes M products against settled basis columns
+    MV = np.zeros((n, maxiter + 1))
     alphas: list[float] = []
     betas: list[float] = []
 
     v = rng.standard_normal(n)
-    Mv = M_mul(v)
+    Mv = M_op(v)
     nrm = np.sqrt(max(v @ Mv, 0.0))
     if nrm == 0:  # pragma: no cover - random vector cannot be 0
         raise EigenError("degenerate start vector")
     V[:, 0] = v / nrm
+    MV[:, 0] = Mv / nrm
 
     k = 0
     for j in range(maxiter):
-        w = M_factor.solve(B_mul(V[:, j]))
-        alpha = float(w @ M_mul(V[:, j]))
+        w = M_factor.solve(B_op(V[:, j]))
+        alpha = float(w @ MV[:, j])
         w = w - alpha * V[:, j]
         if j > 0:
             w = w - betas[-1] * V[:, j - 1]
-        # full reorthogonalisation in the M-inner product (twice is enough)
+        # full reorthogonalisation in the M-inner product (twice is
+        # enough); the cached MV columns make each pass two gemvs
         for _ in range(2):
-            coef = V[:, :j + 1].T @ M_mul(w)
+            coef = MV[:, :j + 1].T @ w
             w = w - V[:, :j + 1] @ coef
         alphas.append(alpha)
-        beta = float(np.sqrt(max(w @ M_mul(w), 0.0)))
+        Mw = M_op(w)
+        beta = float(np.sqrt(max(w @ Mw, 0.0)))
         k = j + 1
         if beta < 1e-14 * max(1.0, abs(alpha)):
             break                      # invariant subspace (rank(B) reached)
         betas.append(beta)
         V[:, j + 1] = w / beta
+        MV[:, j + 1] = Mw / beta
         # convergence test every few steps once we have nev Ritz values
         if k >= nev and (k % 5 == 0 or k == maxiter):
             theta, S = _tridiag_eig(alphas, betas[:k - 1])
@@ -118,20 +156,24 @@ def subspace_iteration(B_mul, M_factor: Factorization, M_mul, n: int,
 
     Slower convergence than Lanczos but immune to breakdown; used in tests
     to cross-check and as a safety net when the Lanczos basis saturates.
+    Fully blocked: each iteration is ONE multi-RHS ``M_factor.solve`` and
+    ONE block product with B (all :class:`Factorization` backends accept
+    column blocks), instead of one call per column.
     """
     if nev < 1 or nev > n:
         raise EigenError(f"invalid nev={nev} for n={n}")
     rng = np.random.default_rng(seed)
+    B_op = _as_operator(B_mul)
+    M_op = _as_operator(M_mul)
     block = min(n, nev + min(nev, 8))
     X = rng.standard_normal((n, block))
     theta_old = np.zeros(block)
     its = 0
     for its in range(1, maxiter + 1):
-        Y = np.column_stack([M_factor.solve(B_mul(X[:, i]))
-                             for i in range(block)])
-        X = _m_orthonormalize(Y, M_mul)
+        Y = M_factor.solve(B_op(X))            # one blocked solve
+        X = _m_orthonormalize(Y, M_op, rng=rng)
         # Rayleigh–Ritz in the M-inner product
-        BX = np.column_stack([B_mul(X[:, i]) for i in range(block)])
+        BX = B_op(X)                           # one blocked product
         H = X.T @ BX
         H = 0.5 * (H + H.T)
         theta, S = np.linalg.eigh(H)
@@ -147,18 +189,45 @@ def subspace_iteration(B_mul, M_factor: Factorization, M_mul, n: int,
                        iterations=its, residuals=res)
 
 
-def _m_orthonormalize(X: np.ndarray, M_mul) -> np.ndarray:
-    """Gram–Schmidt M-orthonormalisation of the columns of X."""
+def _m_orthonormalize(X: np.ndarray, M_mul,
+                      rng: np.random.Generator | None = None) -> np.ndarray:
+    """Gram–Schmidt M-orthonormalisation of the columns of X.
+
+    Classical Gram–Schmidt with reorthogonalisation (CGS2) against the
+    cached block ``MQ = M @ Q``: one M product per settled column instead
+    of one per (i, j) pair, and each projection pass is two gemvs.
+
+    *rng* replaces degenerate (M-null) directions; callers must pass
+    their seeded generator so results never depend on the column index
+    alone (reproducibility across call sites).
+    """
+    M_op = _as_operator(M_mul)
     Q = np.array(X, dtype=np.float64, copy=True)
-    k = Q.shape[1]
+    n, k = Q.shape
+    MQ = np.empty((n, k))
+    if rng is None:
+        rng = np.random.default_rng(0)
     for i in range(k):
+        orig = np.sqrt(max(Q[:, i] @ M_op(Q[:, i]), 0.0))
         for _ in range(2):
-            for j in range(i):
-                Q[:, i] -= (Q[:, j] @ M_mul(Q[:, i])) * Q[:, j]
-        nrm = np.sqrt(max(Q[:, i] @ M_mul(Q[:, i]), 0.0))
-        if nrm < 1e-300:
-            # replace a degenerate direction with a fresh random one
-            Q[:, i] = np.random.default_rng(i).standard_normal(Q.shape[0])
-            nrm = np.sqrt(Q[:, i] @ M_mul(Q[:, i]))
+            if i:
+                coef = MQ[:, :i].T @ Q[:, i]
+                Q[:, i] -= Q[:, :i] @ coef
+        Mq = M_op(Q[:, i])
+        nrm = np.sqrt(max(Q[:, i] @ Mq, 0.0))
+        # degenerate = the projection annihilated the column (it was
+        # numerically inside the settled span); the residual is then
+        # rounding noise whose normalisation would be garbage
+        if nrm <= 1e-12 * orig or orig == 0.0:
+            # replace with a fresh direction from the *caller's* rng,
+            # projected against the settled columns
+            Q[:, i] = rng.standard_normal(n)
+            for _ in range(2):
+                if i:
+                    coef = MQ[:, :i].T @ Q[:, i]
+                    Q[:, i] -= Q[:, :i] @ coef
+            Mq = M_op(Q[:, i])
+            nrm = np.sqrt(max(Q[:, i] @ Mq, 0.0))
         Q[:, i] /= nrm
+        MQ[:, i] = Mq / nrm
     return Q

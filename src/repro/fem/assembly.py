@@ -30,7 +30,18 @@ from .space import FunctionSpace
 # ----------------------------------------------------------------------
 
 def _cell_geometry(space: FunctionSpace):
-    """Jacobians, inverse-transpose Jacobians and |det J| for all cells."""
+    """Jacobians, inverse Jacobians and |det J| for all cells.
+
+    Memoised on the space: stiffness, mass and load assembly all need the
+    same batch, and reassembling paths (elasticity's two forms, Picard's
+    per-iteration reassembly) would otherwise recompute every cell
+    Jacobian/inverse/determinant each time.  Meshes are never mutated in
+    place (refinement returns new meshes, hence new spaces), so the cache
+    cannot go stale.
+    """
+    cached = getattr(space, "_cell_geometry_cache", None)
+    if cached is not None:
+        return cached
     mesh = space.mesh
     v = mesh.vertices[mesh.cells]                 # (nc, dim+1, dim)
     J = np.swapaxes(v[:, 1:, :] - v[:, :1, :], 1, 2)   # (nc, dim, dim); col j = edge j
@@ -38,7 +49,8 @@ def _cell_geometry(space: FunctionSpace):
     if np.any(detJ <= 0):
         raise FEMError("mesh contains non-positively oriented cells")
     Jinv = np.linalg.inv(J)                       # (nc, dim, dim)
-    return J, Jinv, detJ
+    space._cell_geometry_cache = (J, Jinv, detJ)
+    return space._cell_geometry_cache
 
 
 def _coefficient_at_quadrature(coeff, space: FunctionSpace, qpts: np.ndarray,

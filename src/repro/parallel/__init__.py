@@ -1,0 +1,13 @@
+"""Parallel setup engine: executor abstraction for per-subdomain work."""
+
+from .executor import (
+    BACKENDS,
+    SERIAL,
+    ParallelConfig,
+    parallel_map,
+    resolve_parallel,
+    timed_map,
+)
+
+__all__ = ["BACKENDS", "SERIAL", "ParallelConfig", "parallel_map",
+           "resolve_parallel", "timed_map"]

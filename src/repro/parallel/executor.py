@@ -1,0 +1,133 @@
+"""The parallel setup engine: executors for per-subdomain work.
+
+The paper's setup phases — local factorizations, per-subdomain GenEO
+eigensolves, coarse-operator assembly — are embarrassingly parallel:
+every subdomain's work reads only its own data.  This module provides
+the executor abstraction that drives those loops concurrently:
+
+* ``"serial"``  — a plain ordered loop (the reference semantics);
+* ``"threads"`` — :class:`concurrent.futures.ThreadPoolExecutor`.
+  SuperLU, LAPACK and BLAS release the GIL inside factorizations and
+  solves, so threads deliver real concurrency for exactly the kernels
+  that dominate setup.
+
+Determinism contract: an executor only changes *when* each subdomain's
+task runs, never *what* it computes — tasks share no mutable state, each
+derives its randomness from a per-subdomain seed, and results are
+returned in submission order.  Parallel and serial runs are therefore
+bitwise identical (asserted in ``tests/test_parallel.py``).
+
+Timing contract: :func:`timed_map` measures each task on its own clock,
+so per-subdomain phase times survive under any executor.  The SPMD
+wall-clock of a concurrently executed phase (figs. 8/10) is the *max*
+over subdomains, not the sum — exactly what
+:func:`repro.perfmodel.measure_row` computes from these arrays.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..common.errors import ReproError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: supported executor backends
+BACKENDS = ("serial", "threads")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How the setup loops are executed.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (default) or ``"threads"``.
+    workers:
+        Thread count for the ``"threads"`` backend; ``None`` auto-sizes
+        to ``min(8, os.cpu_count())``.  Ignored by ``"serial"``.
+    """
+
+    backend: str = "serial"
+    workers: int | None = None
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ReproError(f"unknown parallel backend {self.backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if self.workers is not None and self.workers < 1:
+            raise ReproError(f"workers must be >= 1, got {self.workers}")
+
+    @property
+    def num_workers(self) -> int:
+        """Effective worker count (1 for the serial backend)."""
+        if self.backend == "serial":
+            return 1
+        if self.workers is not None:
+            return self.workers
+        return min(8, os.cpu_count() or 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelConfig({self.backend!r}, workers={self.num_workers})"
+
+
+#: the module default used when callers pass ``parallel=None``
+SERIAL = ParallelConfig("serial")
+
+
+def resolve_parallel(parallel) -> ParallelConfig:
+    """Normalise a user-facing ``parallel=`` argument.
+
+    Accepts ``None`` (→ serial), a backend name string, or a
+    :class:`ParallelConfig` (returned as-is).
+    """
+    if parallel is None:
+        return SERIAL
+    if isinstance(parallel, ParallelConfig):
+        return parallel
+    if isinstance(parallel, str):
+        return ParallelConfig(parallel)
+    raise ReproError(f"parallel must be None, a backend name, or a "
+                     f"ParallelConfig; got {type(parallel).__name__}")
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T],
+                 parallel: ParallelConfig | str | None = None) -> list[R]:
+    """Apply *fn* to every item, returning results in input order.
+
+    The serial backend is a plain loop; the threads backend fans the
+    items over a pool.  Either way the result list index matches the
+    item index, so downstream code is executor-agnostic.
+    """
+    cfg = resolve_parallel(parallel)
+    items = list(items)
+    if cfg.backend == "serial" or cfg.num_workers == 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    with ThreadPoolExecutor(max_workers=cfg.num_workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def timed_map(fn: Callable[[T], R], items: Sequence[T],
+              parallel: ParallelConfig | str | None = None,
+              ) -> tuple[list[R], list[float]]:
+    """:func:`parallel_map` that also times each task on its own clock.
+
+    Returns ``(results, seconds)`` aligned with *items*.  ``seconds[i]``
+    is the wall-clock of task *i* alone — the per-subdomain phase times
+    of figs. 8/10, valid under any executor (SPMD wall-clock of the
+    phase = ``max(seconds)``).
+    """
+
+    def run(x: T) -> tuple[R, float]:
+        t0 = time.perf_counter()
+        out = fn(x)
+        return out, time.perf_counter() - t0
+
+    pairs = parallel_map(run, items, parallel)
+    return [p[0] for p in pairs], [p[1] for p in pairs]
