@@ -88,6 +88,8 @@ def cmd_solve(args) -> int:
             ["final residual", f"{report.krylov.final_residual:.3e}"]]
     for phase, secs in solver.timer.as_dict().items():
         rows.append([f"time: {phase}", f"{secs:.2f} s"])
+    for phase, secs in report.krylov.profile.items():
+        rows.append([f"solve: {phase}", f"{secs:.3f} s"])
     print(table(["quantity", "value"], rows, title="repro solve report"))
     if args.plot:
         print()

@@ -5,8 +5,10 @@ from .abstract import AbstractDeflation, nonoverlapping_pattern
 from .adef import TwoLevelADEF1, TwoLevelADEF2, TwoLevelBNN
 from .coarse import (
     CoarseOperator,
+    assemble_az,
     assemble_coarse_matrix,
     coarse_blocks,
+    coarse_blocks_with_T,
     elect_masters_nonuniform,
     elect_masters_uniform,
     split_ranges,
@@ -33,7 +35,9 @@ __all__ = [
     "CoarseOperator",
     "DeflationSpace",
     "coarse_blocks",
+    "coarse_blocks_with_T",
     "assemble_coarse_matrix",
+    "assemble_az",
     "elect_masters_uniform",
     "elect_masters_nonuniform",
     "split_ranges",

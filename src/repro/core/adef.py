@@ -8,6 +8,15 @@
   similar but needs **two** coarse solves; kept for the ablation bench.
 * BNN (hybrid balancing): ``(I − ZE⁻¹ZᵀA) P⁻¹ (I − AZE⁻¹Zᵀ) + ZE⁻¹Zᵀ``
   — symmetric when P⁻¹ is, pairs with CG.
+
+Fast apply path: ``Q = Z E⁻¹ Zᵀ`` and ``AQ`` are fixed linear maps once
+setup is done, and the E assembly already computed ``T_i = A_i W_i``
+(block column i of A·Z).  A-DEF1 therefore evaluates the
+``(I − A Z E⁻¹ Zᵀ) u`` term through :meth:`CoarseOperator.az_dot` —
+per-setup cached A·Z — instead of recomputing ``A (Z y)`` with a global
+SpMV plus an extra overlap exchange every iteration.  The pre-PR path is
+kept as :meth:`TwoLevelADEF1.apply_reference` and the equivalence is
+asserted (≤ 1e-14 relative) in ``tests/test_solve_apply.py``.
 """
 
 from __future__ import annotations
@@ -29,9 +38,20 @@ class TwoLevelADEF1:
         self.applications = 0
 
     def apply(self, u: np.ndarray) -> np.ndarray:
+        """One application: coarse solve once, A·Z from the setup cache —
+        zero global SpMVs for the ``A Z E⁻¹ Zᵀ u`` term."""
         self.applications += 1
-        w = self.coarse.correction(u)          # Z E⁻¹ Zᵀ u — 1 coarse solve
-        v = u - self.dec.matvec(w)             # (I − A Z E⁻¹ Zᵀ) u
+        coarse = self.coarse
+        y = coarse.solve(coarse.space.zt_dot(u))   # E⁻¹ Zᵀ u — 1 coarse solve
+        w = coarse.space.z_dot(y)                  # Z y (reused additively)
+        v = u - coarse.az_dot(y)                   # (I − A Z E⁻¹ Zᵀ) u
+        return self.ras.apply(v) + w
+
+    def apply_reference(self, u: np.ndarray) -> np.ndarray:
+        """The pre-cache path: recompute ``A (Z y)`` with a global SpMV
+        (one extra overlap exchange) — kept to pin the fast path down."""
+        w = self.coarse.correction_blocks(u)
+        v = u - self.dec.matvec(w)
         return self.ras.apply(v) + w
 
     def __call__(self, u: np.ndarray) -> np.ndarray:
@@ -78,10 +98,12 @@ class TwoLevelBNN:
 
     def apply(self, u: np.ndarray) -> np.ndarray:
         self.applications += 1
-        w = self.coarse.correction(u)
-        v = u - self.dec.matvec(w)             # (I − A Q) u
+        coarse = self.coarse
+        y = coarse.solve(coarse.space.zt_dot(u))
+        w = coarse.space.z_dot(y)
+        v = u - coarse.az_dot(y)               # (I − A Q) u, cached A·Z
         z = self.one_level.apply(v)
-        z = z - self.coarse.correction(self.dec.matvec(z))  # (I − Q A)
+        z = z - coarse.correction(self.dec.matvec(z))  # (I − Q A)
         return z + w
 
     def __call__(self, u: np.ndarray) -> np.ndarray:

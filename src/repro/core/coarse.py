@@ -28,14 +28,19 @@ from ..solvers import factorize
 from .deflation import DeflationSpace
 
 
-def coarse_blocks(space: DeflationSpace,
-                  parallel: ParallelConfig | str | None = None,
-                  ) -> dict[tuple[int, int], np.ndarray]:
-    """All blocks E_{i,j} (i row, j ∈ Ō_i) via the three-step algorithm.
+def coarse_blocks_with_T(space: DeflationSpace,
+                         parallel: ParallelConfig | str | None = None,
+                         ) -> tuple[dict[tuple[int, int], np.ndarray],
+                                    list[np.ndarray]]:
+    """All blocks E_{i,j} (i row, j ∈ Ō_i) via the three-step algorithm,
+    plus the intermediate ``T_i = A_i W_i`` blocks.
 
     Steps 1 and 3 are per-subdomain local gemms and run under the
     parallel setup engine; step 2 (the neighbour exchange) is index
-    plumbing on the already-computed T blocks.
+    plumbing on the already-computed T blocks.  The T blocks are the
+    columns of A·Z restricted to each subdomain — returning them lets
+    :class:`CoarseOperator` cache A·Z for the solve-phase fast path
+    instead of recomputing it with a global SpMV every iteration.
     """
     dec = space.dec
     subs = dec.subdomains
@@ -64,15 +69,19 @@ def coarse_blocks(space: DeflationSpace,
 
     for part in parallel_map(off_diag, subs, parallel):
         blocks.update(part)
-    return blocks
+    return blocks, T
 
 
-def assemble_coarse_matrix(space: DeflationSpace,
-                           parallel: ParallelConfig | str | None = None,
-                           ) -> sp.csr_matrix:
-    """Sparse E from the block dictionary (global CSR, the masters'
-    distributed format in §3.1.1 — here sequential)."""
-    blocks = coarse_blocks(space, parallel)
+def coarse_blocks(space: DeflationSpace,
+                  parallel: ParallelConfig | str | None = None,
+                  ) -> dict[tuple[int, int], np.ndarray]:
+    """The E_{i,j} block dictionary (see :func:`coarse_blocks_with_T`)."""
+    return coarse_blocks_with_T(space, parallel)[0]
+
+
+def _matrix_from_blocks(space: DeflationSpace,
+                        blocks: dict[tuple[int, int], np.ndarray],
+                        ) -> sp.csr_matrix:
     off = space.offsets
     rows, cols, vals = [], [], []
     for (i, j), blk in blocks.items():
@@ -86,6 +95,38 @@ def assemble_coarse_matrix(space: DeflationSpace,
         shape=(space.m, space.m))
     E.sum_duplicates()
     return E
+
+
+def assemble_coarse_matrix(space: DeflationSpace,
+                           parallel: ParallelConfig | str | None = None,
+                           ) -> sp.csr_matrix:
+    """Sparse E from the block dictionary (global CSR, the masters'
+    distributed format in §3.1.1 — here sequential)."""
+    return _matrix_from_blocks(space, coarse_blocks(space, parallel))
+
+
+def assemble_az(space: DeflationSpace,
+                T: list[np.ndarray]) -> sp.csr_matrix:
+    """Sparse A·Z (n_free × m) from the cached T_i = A_i W_i blocks.
+
+    Each W_i vanishes on the outermost layer of V_i^δ (the GenEO vectors
+    carry the partition of unity), so A R_iᵀ W_i is supported inside
+    V_i^δ and A Z = Σ_i R_iᵀ T_i exactly — block column i of A·Z is T_i
+    scattered to subdomain i's rows.  Same sparsity as Z itself (fig. 3).
+    """
+    dec = space.dec
+    rows, cols, vals = [], [], []
+    for i, (Ti, s) in enumerate(zip(T, dec.subdomains)):
+        r = np.repeat(s.dofs, Ti.shape[1])
+        c = np.tile(np.arange(space.offsets[i], space.offsets[i + 1]),
+                    s.size)
+        rows.append(r)
+        cols.append(c)
+        vals.append(Ti.ravel())
+    return sp.csr_matrix(
+        (np.concatenate(vals),
+         (np.concatenate(rows), np.concatenate(cols))),
+        shape=(dec.problem.num_free, space.m))
 
 
 # ----------------------------------------------------------------------
@@ -153,6 +194,13 @@ class _PseudoInverse:
 class CoarseOperator:
     """Assembled + factorised coarse operator with the §3.2 correction.
 
+    Setup also caches the ``T_i = A_i W_i`` blocks already computed for
+    the E assembly, both per subdomain (:attr:`T`) and as the assembled
+    sparse :attr:`AZ` — so the solve phase computes ``A Z y`` with one
+    spmv (or per-subdomain gemvs + overlap exchange in the distributed
+    form, :meth:`az_dot_blocks`) instead of a global SpMV every
+    iteration.
+
     Parameters
     ----------
     space:
@@ -167,10 +215,18 @@ class CoarseOperator:
                  rank_tol: float = 1e-10,
                  parallel: ParallelConfig | str | None = None):
         self.space = space
-        self.E = assemble_coarse_matrix(space, parallel)
+        blocks, T = coarse_blocks_with_T(space, parallel)
+        self.E = _matrix_from_blocks(space, blocks)
+        #: cached T_i = A_i W_i blocks (block column i of A·Z)
+        self.T = T
+        #: assembled sparse A·Z — fixed once the deflation space is built
+        self.AZ = assemble_az(space, T)
         self.rank_deficient = False
         self.factorization = self._robust_factorize(backend, rank_tol)
         self.solves = 0
+        #: optional :class:`~repro.krylov.SolveProfiler` — when attached,
+        #: every coarse solve is timed under its ``coarse_solve`` phase
+        self.profiler = None
 
     def _robust_factorize(self, backend: str, rank_tol: float):
         """Factorise E, falling back to a rank-revealing pseudo-inverse.
@@ -203,6 +259,9 @@ class CoarseOperator:
     def solve(self, w: np.ndarray) -> np.ndarray:
         """y = E⁻¹ w (forward elimination + back substitution, §3.2 step 2)."""
         self.solves += 1
+        if self.profiler is not None:
+            with self.profiler.phase("coarse_solve"):
+                return self.factorization.solve(w)
         return self.factorization.solve(w)
 
     def correction(self, u: np.ndarray) -> np.ndarray:
@@ -210,6 +269,26 @@ class CoarseOperator:
         w = self.space.zt_dot(u)
         y = self.solve(w)
         return self.space.z_dot(y)
+
+    def correction_blocks(self, u: np.ndarray) -> np.ndarray:
+        """Per-block (pre-assembly) form of :meth:`correction` — the
+        distributed/SPMD semantics, kept as the reference path."""
+        w = self.space.zt_dot_blocks(u)
+        y = self.solve(w)
+        return self.space.z_dot_blocks(y)
+
+    def az_dot(self, y: np.ndarray) -> np.ndarray:
+        """A Z y via the cached :attr:`AZ` — one spmv, zero global SpMVs
+        and zero overlap exchanges (the A-DEF1 fast path)."""
+        return self.AZ @ y
+
+    def az_dot_blocks(self, y: np.ndarray) -> np.ndarray:
+        """Distributed form of :meth:`az_dot`: per-subdomain gemvs
+        ``T_i y_i`` followed by the overlap sum Σ_i R_iᵀ(T_i y_i) — the
+        communication of one neighbour exchange, still no global SpMV."""
+        off = self.space.offsets
+        t_list = [Ti @ y[off[i]:off[i + 1]] for i, Ti in enumerate(self.T)]
+        return self.space.dec.combine_raw(t_list)
 
     def nnz_factor(self) -> int:
         """Fill of the factors — the paper's nnz(E⁻¹) column (fig. 11)."""

@@ -1,9 +1,13 @@
-"""The deflation matrix Z (paper fig. 3) — never assembled globally.
+"""The deflation matrix Z (paper fig. 3) — block-sparse, assembled once.
 
 Z = [R₁ᵀW₁ R₂ᵀW₂ … R_NᵀW_N] is block-sparse: one dense ``n_i × ν_i``
-block per subdomain, rows overlapping where dofs are duplicated.  All
-products with Z and Zᵀ are computed from the per-subdomain W_i blocks
-(§3.2 steps 1 and 3); an explicit sparse Z is available for tests only.
+block per subdomain, rows overlapping where dofs are duplicated.  The
+sequential driver assembles Z (and its transpose) as CSR **once** so
+every ``Zᵀu`` / ``Zy`` of the solve phase is a single spmv instead of an
+N-element Python loop of gemvs; the per-block forms (``zt_dot_blocks``,
+``z_dot_blocks``, ``z_dot_local``) remain the distributed semantics used
+by the SPMD/simmpi driver and the reference-path tests (§3.2 steps 1
+and 3 literally).
 """
 
 from __future__ import annotations
@@ -35,19 +39,68 @@ class DeflationSpace:
         #: global column offsets r_i = Σ_{j<i} ν_j
         self.offsets = np.concatenate([[0], np.cumsum(self.nu)])
         self.m = int(self.offsets[-1])
+        self._Z: sp.csr_matrix | None = None
+        self._Zt: sp.csr_matrix | None = None
+
+    # ------------------------------------------------------------------
+    # Assembled sparse Z (sequential fast path)
+    # ------------------------------------------------------------------
+    @property
+    def Z(self) -> sp.csr_matrix:
+        """Sparse Z (n_free × m), assembled lazily and cached."""
+        if self._Z is None:
+            self._Z = self._assemble_z()
+        return self._Z
+
+    @property
+    def Zt(self) -> sp.csr_matrix:
+        """Cached CSR transpose of Z (row-major spmv for Zᵀu)."""
+        if self._Zt is None:
+            self._Zt = self.Z.T.tocsr()
+        return self._Zt
+
+    def _assemble_z(self) -> sp.csr_matrix:
+        dec = self.dec
+        rows, cols, vals = [], [], []
+        for i, (W, s) in enumerate(zip(self.W, dec.subdomains)):
+            r = np.repeat(s.dofs, W.shape[1])
+            c = np.tile(np.arange(self.offsets[i], self.offsets[i + 1]),
+                        s.size)
+            rows.append(r)
+            cols.append(c)
+            vals.append(W.ravel())
+        return sp.csr_matrix(
+            (np.concatenate(vals),
+             (np.concatenate(rows), np.concatenate(cols))),
+            shape=(dec.problem.num_free, self.m))
 
     # ------------------------------------------------------------------
     def zt_dot(self, u: np.ndarray) -> np.ndarray:
-        """w = Zᵀu (§3.2 step 1): each subdomain computes W_iᵀ u_i (gemv);
-        the concatenation is the coarse right-hand side."""
+        """w = Zᵀu (§3.2 step 1) — one spmv with the cached Zᵀ."""
+        return self.Zt @ u
+
+    def z_dot(self, y: np.ndarray) -> np.ndarray:
+        """z = Zy (§3.2 step 3) — one spmv with the cached Z."""
+        if y.shape != (self.m,):
+            raise DecompositionError(
+                f"coarse vector must have shape ({self.m},), got {y.shape}")
+        return self.Z @ y
+
+    # ------------------------------------------------------------------
+    # Per-block (distributed) forms — the SPMD semantics and the
+    # reference path of the solve-phase perf tests
+    # ------------------------------------------------------------------
+    def zt_dot_blocks(self, u: np.ndarray) -> np.ndarray:
+        """Per-block Zᵀu: each subdomain computes W_iᵀ u_i (gemv); the
+        concatenation is the coarse right-hand side."""
         dec = self.dec
         parts = [W.T @ u[s.dofs]
                  for W, s in zip(self.W, dec.subdomains)]
         return np.concatenate(parts)
 
-    def z_dot(self, y: np.ndarray) -> np.ndarray:
-        """z = Zy (§3.2 step 3): z_i = W_i y_i locally, then the overlap
-        sum Σ_j R_iR_jᵀ z_j — same communication as one matvec (eq. 12)."""
+    def z_dot_blocks(self, y: np.ndarray) -> np.ndarray:
+        """Per-block Zy: z_i = W_i y_i locally, then the overlap sum
+        Σ_j R_iR_jᵀ z_j — same communication as one matvec (eq. 12)."""
         if y.shape != (self.m,):
             raise DecompositionError(
                 f"coarse vector must have shape ({self.m},), got {y.shape}")
@@ -68,17 +121,5 @@ class DeflationSpace:
 
     # ------------------------------------------------------------------
     def explicit_z(self) -> sp.csr_matrix:
-        """Assembled sparse Z (n_free × m) — tests and figure 3 only."""
-        dec = self.dec
-        rows, cols, vals = [], [], []
-        for i, (W, s) in enumerate(zip(self.W, dec.subdomains)):
-            r = np.repeat(s.dofs, W.shape[1])
-            c = np.tile(np.arange(self.offsets[i], self.offsets[i + 1]),
-                        s.size)
-            rows.append(r)
-            cols.append(c)
-            vals.append(W.ravel())
-        return sp.csr_matrix(
-            (np.concatenate(vals),
-             (np.concatenate(rows), np.concatenate(cols))),
-            shape=(dec.problem.num_free, self.m))
+        """Assembled sparse Z — alias of :attr:`Z` (figure 3, tests)."""
+        return self.Z

@@ -7,10 +7,12 @@
 
 Each A_i = R_i A R_iᵀ is factorised once (the *factorization* phase of
 figures 8/10); every application is N concurrent local solves followed by
-the partition-of-unity prolongation.  The factorization loop runs under
-the parallel setup engine (:mod:`repro.parallel`) — each subdomain is
-timed on its own clock, so the per-subdomain ``factor_times`` used by
-the figs. 8/10 SPMD wall-clock (max over ranks) survive any executor.
+the partition-of-unity prolongation.  Both the factorization loop AND
+the per-application solve loop run under the parallel setup engine
+(:mod:`repro.parallel`) — the local triangular solves release the GIL,
+so the solve-phase hot loop gains real concurrency too.  Results are
+combined in submission order, so parallel and serial applications are
+bitwise identical.
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..dd.decomposition import Decomposition
-from ..parallel import ParallelConfig, timed_map
+from ..parallel import ParallelConfig, parallel_map, resolve_parallel, timed_map
 from ..solvers import factorize
 
 
@@ -31,19 +33,28 @@ class OneLevelRAS:
                  parallel: ParallelConfig | str | None = None):
         self.dec = dec
         self.backend = backend
+        self.parallel = resolve_parallel(parallel)
         #: per-subdomain factorization seconds — SPMD wall-clock for the
         #: *factorization* phase of figs. 8/10 is the max of these
         self.factorizations, self.factor_times = timed_map(
             lambda s: factorize(s.A_dir, backend),
-            dec.subdomains, parallel)
+            dec.subdomains, self.parallel)
         self.applications = 0
 
     def apply(self, r: np.ndarray) -> np.ndarray:
-        """One preconditioner application on a reduced global vector."""
+        """One preconditioner application on a reduced global vector.
+
+        The N local solves run under the configured executor; the
+        partition-of-unity combination walks subdomains in submission
+        order, so the result is bitwise independent of the executor.
+        """
         self.applications += 1
-        dec = self.dec
-        sols = [f.solve(r[s.dofs])
-                for f, s in zip(self.factorizations, dec.subdomains)]
+        facts, subs = self.factorizations, self.dec.subdomains
+
+        def local_solve(i: int) -> np.ndarray:
+            return facts[i].solve(r[subs[i].dofs])
+
+        sols = parallel_map(local_solve, range(len(subs)), self.parallel)
         return self._combine(sols)
 
     def apply_block(self, R: np.ndarray) -> np.ndarray:
@@ -52,19 +63,28 @@ class OneLevelRAS:
         One blocked local solve per subdomain (every
         :class:`~repro.solvers.local.Factorization` backend accepts
         column blocks) instead of ``N × k`` vector solves — the path
-        block-Krylov and Ritz-projection drivers should use.
+        block-Krylov and Ritz-projection drivers should use.  Solves run
+        under the configured executor; accumulation is serial in
+        submission order.
         """
         if R.ndim != 2:
             raise ValueError(f"apply_block expects a column block, "
                              f"got ndim={R.ndim}")
         self.applications += R.shape[1]
-        dec = self.dec
-        out = np.zeros((dec.problem.num_free, R.shape[1]))
-        for f, s in zip(self.factorizations, dec.subdomains):
-            sols = f.solve(R[s.dofs, :])
+        facts, subs = self.factorizations, self.dec.subdomains
+
+        def local_solve(i: int) -> np.ndarray:
+            sols = facts[i].solve(R[subs[i].dofs, :])
             if self.weighted:
-                sols = s.d[:, None] * sols
-            np.add.at(out, s.dofs, sols)
+                sols = subs[i].d[:, None] * sols
+            return sols
+
+        all_sols = parallel_map(local_solve, range(len(subs)), self.parallel)
+        out = np.zeros((self.dec.problem.num_free, R.shape[1]))
+        for s, sols in zip(subs, all_sols):
+            # a subdomain's dofs are unique, so fancy-index accumulation
+            # is exact — and much faster than np.add.at's ufunc path
+            out[s.dofs] += sols
         return out
 
     def _combine(self, sols: list[np.ndarray]) -> np.ndarray:

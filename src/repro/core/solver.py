@@ -30,7 +30,7 @@ from ..common.timing import PhaseTimer
 from ..dd.decomposition import Decomposition
 from ..dd.problem import Problem
 from ..fem.forms import Form
-from ..krylov import KrylovResult, cg, gmres, p1_gmres
+from ..krylov import KrylovResult, SolveProfiler, cg, gmres, p1_gmres
 from ..mesh import SimplexMesh
 from ..parallel import ParallelConfig, resolve_parallel, timed_map
 from ..partition import partition_mesh
@@ -207,8 +207,14 @@ class SchwarzSolver:
         if b is None:
             b = self.problem.rhs()
         method = _KRYLOV[self.krylov_name]
+        # one profiler shared between the Krylov loop (matvec / apply /
+        # orthogonalization) and the coarse operator (coarse_solve, a
+        # sub-interval of apply) — surfaced on KrylovResult.profile
+        profiler = SolveProfiler()
+        if self.coarse is not None:
+            self.coarse.profiler = profiler
         kwargs = dict(M=self.preconditioner.apply, tol=tol, maxiter=maxiter,
-                      callback=callback)
+                      callback=callback, profiler=profiler)
         if self.krylov_name in ("gmres", "p1-gmres"):
             kwargs["restart"] = restart
         with self.timer.phase("solution"):

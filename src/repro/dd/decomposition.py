@@ -101,6 +101,9 @@ class Decomposition:
         self.delta = int(delta)
         self.parallel = resolve_parallel(parallel)
         self.num_subdomains = int(part.max()) + 1
+        #: number of distributed A·x products performed (the solve-phase
+        #: SpMV counter — the fast A-DEF1 apply path must not move it)
+        self.matvecs = 0
         self._build_subdomains()
         self._apply_scaling()
         self._build_exchange()
@@ -245,17 +248,21 @@ class Decomposition:
         return [u[s.dofs] for s in self.subdomains]
 
     def combine(self, u_list: list[np.ndarray]) -> np.ndarray:
-        """Σ_i R_iᵀ D_i u_i — the partition-of-unity prolongation."""
+        """Σ_i R_iᵀ D_i u_i — the partition-of-unity prolongation.
+
+        A subdomain's dofs are unique, so fancy-index accumulation is
+        exact (and far cheaper than ``np.add.at``'s unbuffered path).
+        """
         out = np.zeros(self.problem.num_free)
         for s, ui in zip(self.subdomains, u_list):
-            np.add.at(out, s.dofs, s.d * ui)
+            out[s.dofs] += s.d * ui
         return out
 
     def combine_raw(self, u_list: list[np.ndarray]) -> np.ndarray:
         """Σ_i R_iᵀ u_i (no partition of unity)."""
         out = np.zeros(self.problem.num_free)
         for s, ui in zip(self.subdomains, u_list):
-            np.add.at(out, s.dofs, ui)
+            out[s.dofs] += ui
         return out
 
     # ------------------------------------------------------------------
@@ -288,6 +295,7 @@ class Decomposition:
         Consistency: the result is read off subdomain-local pieces using
         the partition of unity (each dof's value is identical on every
         subdomain owning it, so any weighted combination returns it)."""
+        self.matvecs += 1
         y_list = self.matvec_local(self.restrict(x))
         return self.combine(y_list)
 

@@ -11,22 +11,25 @@ import numpy as np
 
 from ..common.errors import KrylovError
 from .gmres import KrylovResult, _as_operator
+from .profile import SolveProfiler
 
 
 def cg(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
        tol: float = 1e-6, maxiter: int = 1000,
-       callback=None) -> KrylovResult:
+       callback=None, profiler: SolveProfiler | None = None) -> KrylovResult:
     """Left-preconditioned CG: solve ``A x = b`` with SPD ``A`` and SPD
     preconditioner ``M`` (applied as an operator)."""
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
-    A_mul = _as_operator(A, n, "A")
-    M_mul = _as_operator(M, n, "M")
+    prof = profiler if profiler is not None else SolveProfiler()
+    A_mul = prof.wrap(_as_operator(A, n, "A"), "matvec")
+    M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0])
+        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0],
+                            profile=prof.as_dict())
     target = tol * bnorm
 
     r = b - A_mul(x)
@@ -60,4 +63,4 @@ def cg(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             callback(it, residuals[-1])
     return KrylovResult(x=x, iterations=it, residuals=residuals,
                         converged=residuals[-1] * bnorm <= target,
-                        global_syncs=syncs)
+                        global_syncs=syncs, profile=prof.as_dict())

@@ -6,6 +6,10 @@ of a factorization (attractive when E outgrows the masters, §3.4's
 closing concern).  Classical right-preconditioned GMRES assumes a fixed
 M; FGMRES stores the preconditioned basis Z_j = M_j v_j and stays exact
 under iteration-dependent preconditioning.
+
+Workspaces (V, the flexible basis Z, the Hessenberg data) are allocated
+once per solve and reused across restarts; the per-phase profiler
+mirrors :func:`repro.krylov.gmres`.
 """
 
 from __future__ import annotations
@@ -14,27 +18,40 @@ import numpy as np
 
 from ..common.errors import KrylovError
 from .gmres import KrylovResult, _as_operator
+from .profile import SolveProfiler
 
 
 def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
            tol: float = 1e-6, restart: int = 40, maxiter: int = 1000,
-           callback=None) -> KrylovResult:
+           callback=None,
+           profiler: SolveProfiler | None = None) -> KrylovResult:
     """Flexible restarted GMRES; *M* may change between applications."""
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     if restart < 1:
         raise KrylovError(f"restart must be >= 1, got {restart}")
-    A_mul = _as_operator(A, n, "A")
-    M_mul = _as_operator(M, n, "M")
+    prof = profiler if profiler is not None else SolveProfiler()
+    A_mul = prof.wrap(_as_operator(A, n, "A"), "matvec")
+    M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0])
+        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0],
+                            profile=prof.as_dict())
     target = tol * bnorm
     residuals: list[float] = []
     syncs = 0
     total_it = 0
+
+    # workspaces allocated once, reused across restarts
+    m = restart
+    V = np.empty((n, m + 1))
+    Zs = np.empty((n, m))              # flexible: store M_j v_j
+    H = np.zeros((m + 1, m))
+    g = np.zeros(m + 1)
+    cs, sn = np.zeros(m), np.zeros(m)
+    scratch = np.empty(n)
 
     while True:
         r = b - A_mul(x)
@@ -45,26 +62,24 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             callback(total_it, beta / bnorm)
         if beta <= target or total_it >= maxiter:
             break
-        m = restart
-        V = np.zeros((n, m + 1))
-        Zs = np.zeros((n, m))              # flexible: store M_j v_j
-        H = np.zeros((m + 1, m))
-        g = np.zeros(m + 1)
+        H.fill(0.0)
+        g.fill(0.0)
         g[0] = beta
-        V[:, 0] = r / beta
-        cs, sn = np.zeros(m), np.zeros(m)
+        np.divide(r, beta, out=V[:, 0])
         j_done = 0
         for j in range(m):
             Zs[:, j] = M_mul(V[:, j])
             w = A_mul(Zs[:, j])
-            for i in range(j + 1):
-                H[i, j] = float(w @ V[:, i])
-                w -= H[i, j] * V[:, i]
-            syncs += 1
-            H[j + 1, j] = float(np.linalg.norm(w))
-            syncs += 1
-            if H[j + 1, j] > 0:
-                V[:, j + 1] = w / H[j + 1, j]
+            with prof.phase("orthogonalization"):
+                for i in range(j + 1):
+                    H[i, j] = float(w @ V[:, i])
+                    np.multiply(V[:, i], H[i, j], out=scratch)
+                    np.subtract(w, scratch, out=w)
+                syncs += 1
+                H[j + 1, j] = float(np.linalg.norm(w))
+                syncs += 1
+                if H[j + 1, j] > 0:
+                    np.divide(w, H[j + 1, j], out=V[:, j + 1])
             for i in range(j):
                 t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
                 H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
@@ -96,8 +111,8 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         if total_it >= maxiter:
             return KrylovResult(x=x, iterations=total_it,
                                 residuals=residuals, converged=False,
-                                global_syncs=syncs)
+                                global_syncs=syncs, profile=prof.as_dict())
     return KrylovResult(x=x, iterations=total_it, residuals=residuals,
                         converged=residuals[-1] * bnorm <= target
                         * (1 + 1e-12),
-                        global_syncs=syncs)
+                        global_syncs=syncs, profile=prof.as_dict())

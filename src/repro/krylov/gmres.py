@@ -10,6 +10,15 @@ Every global reduction (the dot-product batch of the Gram–Schmidt
 orthogonalisation and the normalisation) increments a synchronisation
 counter — the quantity the communication-avoiding variants of §3.5 are
 designed to reduce.
+
+Allocation discipline: the Krylov basis V, the Hessenberg workspace and
+the Givens/orthogonalisation scratch vectors are allocated **once** per
+solve and reused across restarts; the modified-Gram–Schmidt updates run
+through preallocated buffers (``np.multiply``/``np.subtract`` with
+``out=``), so the restart loop allocates nothing proportional to n·m.
+A :class:`~repro.krylov.SolveProfiler` times the ``matvec``, ``apply``
+and ``orthogonalization`` cost centres; the result carries the
+accumulated seconds in :attr:`KrylovResult.profile`.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..common.errors import ConvergenceError, KrylovError
+from .profile import SolveProfiler
 
 
 @dataclass
@@ -31,6 +41,10 @@ class KrylovResult:
     converged: bool = True
     #: number of global synchronisations (reductions) performed
     global_syncs: int = 0
+    #: per-phase wall-clock seconds of the solve — ``apply`` (the
+    #: preconditioner), ``coarse_solve`` (nested inside ``apply``),
+    #: ``matvec``, ``orthogonalization``
+    profile: dict[str, float] = field(default_factory=dict)
 
     @property
     def final_residual(self) -> float:
@@ -38,12 +52,17 @@ class KrylovResult:
 
 
 def _as_operator(op, n: int, name: str):
-    """Accept a callable, a scipy sparse matrix or a dense array."""
+    """Accept a callable, a scipy sparse matrix or a dense array;
+    matrix-like operands are validated against the system size *n*."""
     if op is None:
         return lambda x: x
     if callable(op):
         return op
     matrix = op
+    shape = getattr(matrix, "shape", None)
+    if shape is not None and tuple(shape) != (n, n):
+        raise KrylovError(
+            f"operator {name} has shape {tuple(shape)}, expected ({n}, {n})")
 
     def mul(x, _m=matrix):
         return _m @ x
@@ -53,7 +72,8 @@ def _as_operator(op, n: int, name: str):
 
 def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
           tol: float = 1e-6, restart: int = 40, maxiter: int = 1000,
-          callback=None, raise_on_stall: bool = False) -> KrylovResult:
+          callback=None, raise_on_stall: bool = False,
+          profiler: SolveProfiler | None = None) -> KrylovResult:
     """Right-preconditioned restarted GMRES: solve ``A (M y) = b``,
     ``x = M y``.
 
@@ -71,23 +91,37 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         Raise :class:`ConvergenceError` instead of returning an
         unconverged result (benchmarks *expect* the one-level method to
         stall, so the default is to return).
+    profiler:
+        Per-phase timer; pass the one shared with the preconditioner to
+        also capture ``coarse_solve``.  Created internally if ``None``.
     """
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     if restart < 1:
         raise KrylovError(f"restart must be >= 1, got {restart}")
-    A_mul = _as_operator(A, n, "A")
-    M_mul = _as_operator(M, n, "M")
+    prof = profiler if profiler is not None else SolveProfiler()
+    A_mul = prof.wrap(_as_operator(A, n, "A"), "matvec")
+    M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0])
+        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0],
+                            profile=prof.as_dict())
     target = tol * bnorm
 
     residuals: list[float] = []
     syncs = 0
     total_it = 0
+
+    # workspaces allocated once, reused across restarts
+    m = restart
+    V = np.empty((n, m + 1))
+    H = np.zeros((m + 1, m))
+    cs = np.zeros(m)
+    sn = np.zeros(m)
+    g = np.zeros(m + 1)
+    scratch = np.empty(n)
 
     while True:
         r = b - A_mul(x)
@@ -99,26 +133,24 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         if beta <= target or total_it >= maxiter:
             break
 
-        m = restart
-        V = np.zeros((n, m + 1))
-        H = np.zeros((m + 1, m))
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
+        H.fill(0.0)
+        g.fill(0.0)
         g[0] = beta
-        V[:, 0] = r / beta
+        np.divide(r, beta, out=V[:, 0])
         j_done = 0
         for j in range(m):
             w = A_mul(M_mul(V[:, j]))
             # modified Gram–Schmidt; one batched reduction + one norm
-            for i in range(j + 1):
-                H[i, j] = float(w @ V[:, i])
-                w -= H[i, j] * V[:, i]
-            syncs += 1
-            H[j + 1, j] = float(np.linalg.norm(w))
-            syncs += 1
-            if H[j + 1, j] > 0:
-                V[:, j + 1] = w / H[j + 1, j]
+            with prof.phase("orthogonalization"):
+                for i in range(j + 1):
+                    H[i, j] = float(w @ V[:, i])
+                    np.multiply(V[:, i], H[i, j], out=scratch)
+                    np.subtract(w, scratch, out=w)
+                syncs += 1
+                H[j + 1, j] = float(np.linalg.norm(w))
+                syncs += 1
+                if H[j + 1, j] > 0:
+                    np.divide(w, H[j + 1, j], out=V[:, j + 1])
             # apply stored Givens rotations to the new column
             for i in range(j):
                 t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
@@ -157,10 +189,10 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                     f"{total_it} iterations", x=x, residuals=residuals)
             return KrylovResult(x=x, iterations=total_it,
                                 residuals=residuals, converged=False,
-                                global_syncs=syncs)
+                                global_syncs=syncs, profile=prof.as_dict())
     return KrylovResult(x=x, iterations=total_it, residuals=residuals,
                         converged=residuals[-1] * bnorm <= target * (1 + 1e-12),
-                        global_syncs=syncs)
+                        global_syncs=syncs, profile=prof.as_dict())
 
 
 def _back_substitute(H: np.ndarray, g: np.ndarray, k: int) -> np.ndarray:

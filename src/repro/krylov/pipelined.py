@@ -20,34 +20,46 @@ import numpy as np
 
 from ..common.errors import KrylovError
 from .gmres import KrylovResult, _as_operator
+from .profile import SolveProfiler
 
 
 def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
              tol: float = 1e-6, restart: int = 40, maxiter: int = 1000,
-             callback=None) -> KrylovResult:
+             callback=None,
+             profiler: SolveProfiler | None = None) -> KrylovResult:
     """Right-preconditioned pipelined GMRES(m) (p1-GMRES).
 
     Mathematically equivalent to classical GMRES in exact arithmetic; the
-    basis is built with a one-iteration-lagged normalisation.
+    basis is built with a one-iteration-lagged normalisation.  The basis
+    and Hessenberg workspaces are allocated once per solve and reused
+    across restarts.
     """
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     if restart < 1:
         raise KrylovError(f"restart must be >= 1, got {restart}")
-    A_mul = _as_operator(A, n, "A")
-    M_mul = _as_operator(M, n, "M")
+    prof = profiler if profiler is not None else SolveProfiler()
+    A_mul = prof.wrap(_as_operator(A, n, "A"), "matvec")
+    M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
     op = lambda v: A_mul(M_mul(v))  # noqa: E731 - local composition
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0])
+        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0],
+                            profile=prof.as_dict())
     target = tol * bnorm
 
     residuals: list[float] = []
     blocking_syncs = 0
     overlapped = 0
     total_it = 0
+
+    # workspaces allocated once, reused across restarts
+    m = restart
+    V = np.empty((n, m + 2))
+    Z = np.empty((n, m + 2))
+    H = np.zeros((m + 2, m + 1))
 
     while True:
         r = b - A_mul(x)
@@ -59,11 +71,8 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         if beta <= target or total_it >= maxiter:
             break
 
-        m = restart
-        V = np.zeros((n, m + 2))
-        Z = np.zeros((n, m + 2))
-        H = np.zeros((m + 2, m + 1))
-        V[:, 0] = r / beta
+        H.fill(0.0)
+        np.divide(r, beta, out=V[:, 0])
         Z[:, 0] = V[:, 0]
         finalized = 0            # number of fully corrected columns
         for i in range(m + 1):
@@ -91,7 +100,8 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             # line 12: h_{j,i} = ⟨z_{i+1}, v_j⟩ — fused with the norm above
             # into ONE reduction, posted non-blocking (hidden behind the
             # next matvec in a parallel run)
-            H[:i + 1, i] = V[:, :i + 1].T @ Z[:, i + 1]
+            with prof.phase("orthogonalization"):
+                H[:i + 1, i] = V[:, :i + 1].T @ Z[:, i + 1]
             overlapped += 1
 
             if finalized:
@@ -114,12 +124,13 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             break
         if total_it >= maxiter:
             res = KrylovResult(x=x, iterations=total_it, residuals=residuals,
-                               converged=False, global_syncs=blocking_syncs)
+                               converged=False, global_syncs=blocking_syncs,
+                               profile=prof.as_dict())
             res.overlapped_reductions = overlapped
             return res
     res = KrylovResult(x=x, iterations=total_it, residuals=residuals,
                        converged=residuals[-1] * bnorm <= target * (1 + 1e-12),
-                       global_syncs=blocking_syncs)
+                       global_syncs=blocking_syncs, profile=prof.as_dict())
     res.overlapped_reductions = overlapped
     return res
 

@@ -1,0 +1,63 @@
+"""Per-phase solve profiler for the Krylov drivers.
+
+The solve phase of an iteration decomposes into four cost centres the
+paper's analysis keeps separate (§2.1, §3.3): the preconditioner
+application (``apply``), the coarse solve hidden inside it
+(``coarse_solve`` — the most communication-intensive operation), the
+operator product (``matvec``), and the basis orthogonalisation
+(``orthogonalization`` — the reductions §3.5 pipelines away).
+
+Every Krylov driver threads a :class:`SolveProfiler` through its hot
+loop; preconditioner objects that hold a reference to the same profiler
+(see :attr:`repro.core.coarse.CoarseOperator.profiler`) time their
+coarse solves into it, so ``coarse_solve`` is a sub-interval of
+``apply``.  The accumulated seconds surface on
+:attr:`~repro.krylov.KrylovResult.profile` and in the CLI report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class SolveProfiler:
+    """Accumulate wall-clock seconds and call counts per solve phase.
+
+    Phases are created on first use.  ``coarse_solve`` time is nested
+    inside ``apply`` (the coarse solve happens during the preconditioner
+    application), so the phases are cost centres, not a partition.
+    """
+
+    __slots__ = ("times", "calls")
+
+    def __init__(self):
+        self.times: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.times[name] = self.times.get(name, 0.0) + dt
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def wrap(self, fn, name: str):
+        """Return *fn* instrumented to accumulate under phase *name*."""
+
+        def timed(x):
+            t0 = time.perf_counter()
+            out = fn(x)
+            dt = time.perf_counter() - t0
+            self.times[name] = self.times.get(name, 0.0) + dt
+            self.calls[name] = self.calls.get(name, 0) + 1
+            return out
+
+        return timed
+
+    def as_dict(self) -> dict[str, float]:
+        """Accumulated seconds per phase (a plain copy)."""
+        return dict(self.times)

@@ -104,6 +104,42 @@ class TestMasterElection:
         with pytest.raises(DecompositionError):
             elect_masters_nonuniform(4, 0)
 
+    @pytest.mark.parametrize("elect",
+                             [elect_masters_uniform,
+                              elect_masters_nonuniform])
+    def test_single_master(self, elect):
+        """P = 1: rank 0 masters everything."""
+        masters = elect(16, 1)
+        assert masters.tolist() == [0]
+        ranges = split_ranges(masters, 16)
+        assert len(ranges) == 1
+        assert np.array_equal(ranges[0], np.arange(16))
+
+    @pytest.mark.parametrize("elect",
+                             [elect_masters_uniform,
+                              elect_masters_nonuniform])
+    @pytest.mark.parametrize("N", [1, 2, 3, 5, 8])
+    def test_every_rank_a_master(self, elect, N):
+        """P = N: every rank masters exactly itself."""
+        masters = elect(N, N)
+        assert masters.tolist() == list(range(N))
+        ranges = split_ranges(masters, N)
+        assert all(len(r) == 1 for r in ranges)
+
+    @pytest.mark.parametrize("N,P", [(2, 2), (3, 2), (3, 3), (4, 3),
+                                     (5, 4), (5, 5), (6, 5), (7, 6)])
+    def test_tiny_n_rounding_guard(self, N, P):
+        """Tiny N/P combinations exercise the degenerate-rounding guard:
+        masters must stay strictly increasing and inside [0, N)."""
+        masters = elect_masters_nonuniform(N, P)
+        assert masters.shape == (P,)
+        assert masters[0] == 0
+        assert np.all(np.diff(masters) >= 1)
+        assert masters[-1] < N
+        ranges = split_ranges(masters, N)
+        assert np.array_equal(np.concatenate(ranges), np.arange(N))
+        assert all(len(r) >= 1 for r in ranges)
+
 
 class TestCoarseOperator:
     def test_correction_matches_explicit(self, space, rng):
@@ -126,3 +162,55 @@ class TestCoarseOperator:
 
     def test_dim(self, space):
         assert CoarseOperator(space).dim == space.m
+
+    def test_cached_az_columns_are_t_blocks(self, space):
+        """Block column i of the cached A·Z is T_i = A_i W_i scattered to
+        subdomain i's rows."""
+        op = CoarseOperator(space)
+        AZ = op.AZ.toarray()
+        off = space.offsets
+        for i, s in enumerate(space.dec.subdomains):
+            cols = AZ[:, off[i]:off[i + 1]]
+            assert np.array_equal(cols[s.dofs], op.T[i])
+            mask = np.ones(cols.shape[0], dtype=bool)
+            mask[s.dofs] = False
+            assert not cols[mask].any()
+
+
+class TestPseudoInverseFallback:
+    @pytest.fixture(scope="class")
+    def deficient_space(self, diffusion_decomposition):
+        """Deflation space with one duplicated vector → singular E."""
+        dec = diffusion_decomposition
+        Ws = [compute_deflation(s, nev=4, seed=s.index).W
+              for s in dec.subdomains]
+        W0 = Ws[0].copy()
+        W0[:, -1] = W0[:, 0]          # exact linear dependence
+        return DeflationSpace(dec, [W0] + Ws[1:])
+
+    def test_rank_deficiency_detected(self, deficient_space):
+        op = CoarseOperator(deficient_space)
+        assert op.rank_deficient
+        assert op.factorization.rank == deficient_space.m - 1
+
+    def test_correction_matches_pinv(self, deficient_space, rng):
+        """The fallback correction is Z E⁺ Zᵀ u (truncated eigensolve),
+        which the theory needs only on range(Zᵀ·)."""
+        op = CoarseOperator(deficient_space)
+        Z = deficient_space.explicit_z().toarray()
+        E = op.E.toarray()
+        u = rng.standard_normal(deficient_space.dec.problem.num_free)
+        ref = Z @ (np.linalg.pinv(E, rcond=1e-10) @ (Z.T @ u))
+        got = op.correction(u)
+        assert np.linalg.norm(got - ref) \
+            <= 1e-8 * max(np.linalg.norm(ref), 1e-300)
+
+    def test_solve_is_finite_and_consistent(self, deficient_space, rng):
+        op = CoarseOperator(deficient_space)
+        w = deficient_space.zt_dot(
+            rng.standard_normal(deficient_space.dec.problem.num_free))
+        y = op.solve(w)
+        assert np.all(np.isfinite(y))
+        # E y reproduces the range-component of w
+        resid = op.E @ y - w
+        assert np.linalg.norm(resid) <= 1e-8 * np.linalg.norm(w)
