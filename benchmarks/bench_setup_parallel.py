@@ -175,6 +175,15 @@ def report(timing_runs, kernel_counts):
             f"{kernel_counts['lanczos']['m_matvec_calls']} total for "
             f"{kernel_counts['lanczos']['iterations']} iterations")
     write_result("BENCH_setup_parallel", txt)
+    # one instrumented setup for the payload's telemetry section: span
+    # totals of every setup phase plus the per-subdomain task spans
+    from repro.obs import Recorder, summary
+    mesh, form = _problem()
+    recorder = Recorder()
+    SchwarzSolver(mesh, form, num_subdomains=N_SUB, delta=1, nev=NEV,
+                  seed=0, partition_method="rcb",
+                  parallel=ParallelConfig("threads", workers=2),
+                  recorder=recorder)
     write_json("BENCH_setup_parallel", {
         "problem": {"figure": "fig10-2d", "mesh_n": MESH_N,
                     "degree": DEGREE, "num_subdomains": N_SUB,
@@ -185,6 +194,7 @@ def report(timing_runs, kernel_counts):
         "setup_speedup": speedups,
         "geneo_kernels": kernel_counts,
         "subspace_solve_call_reduction": reduction,
+        "telemetry": summary(recorder),
     })
     return rows, solvers, kernel_counts, speedups, reduction
 

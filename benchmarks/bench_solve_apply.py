@@ -120,7 +120,7 @@ def best_seconds(fn, arg, repeats: int, inner: int) -> float:
     return best
 
 
-def run(smoke: bool) -> dict:
+def run(smoke: bool, telemetry: str = "") -> dict:
     solver = build_solver(smoke)
     dec, pre = solver.decomposition, solver.preconditioner
     ref = PrePRApply(solver)
@@ -155,7 +155,14 @@ def run(smoke: bool) -> dict:
     t_az_ref = best_seconds(lambda v: dec.matvec(ref.z_dot(v)), y,
                             repeats, inner)
 
-    # one full solve for the per-phase profile
+    # one full solve for the per-phase profile.  The timing loops above
+    # ran un-instrumented; the recorder is attached only now, so the
+    # payload's telemetry section covers the full solve without touching
+    # the kernel timings.
+    from repro.obs import Recorder, summary, write_trace
+    recorder = Recorder()
+    for obj in (solver, solver.timer, solver.decomposition, solver.coarse):
+        obj.recorder = recorder
     report = solver.solve(tol=1e-8, restart=60, maxiter=300)
 
     n, m = dec.problem.num_free, space.m
@@ -200,8 +207,12 @@ def run(smoke: bool) -> dict:
                   "iterations": int(report.iterations),
                   "profile": report.krylov.profile},
         "min_speedup_required": MIN_SPEEDUP,
+        "telemetry": summary(recorder),
     }
     write_json("BENCH_solve_apply", payload)
+    if telemetry:
+        write_trace(recorder, telemetry, format="chrome")
+        print(f"chrome trace written to {telemetry}")
     return payload
 
 
@@ -209,9 +220,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized problem, fewer timing repeats")
+    parser.add_argument("--telemetry", default="",
+                        help="also write a chrome trace of the full "
+                             "solve to this path")
     args = parser.parse_args(argv)
     smoke = args.smoke or bool(int(os.environ.get("BENCH_SMOKE", "0")))
-    payload = run(smoke)
+    payload = run(smoke, telemetry=args.telemetry)
 
     failures = []
     if payload["global_spmvs_per_apply"]["fast"] != 0:

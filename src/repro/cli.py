@@ -15,6 +15,9 @@ Subcommands
     optionally export the solution as VTK).
 ``info``
     Print mesh/space/decomposition statistics without solving.
+``trace``
+    Render a telemetry trace (written by ``solve --telemetry``) as an
+    ASCII Gantt chart plus phase/counter tables.
 """
 
 from __future__ import annotations
@@ -72,11 +75,15 @@ def cmd_solve(args) -> int:
                                   workers=args.workers or None)
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
+    recorder = None
+    if args.telemetry:
+        from .obs import Recorder
+        recorder = Recorder()
     solver = SchwarzSolver(
         mesh, form, num_subdomains=args.subdomains, delta=args.delta,
         nev=args.nev, levels=args.levels, krylov=args.krylov,
         partition_method=args.partitioner, dirichlet=clamp,
-        seed=args.seed, parallel=parallel)
+        seed=args.seed, parallel=parallel, recorder=recorder)
     report = solver.solve(tol=args.tol, restart=args.restart,
                           maxiter=args.maxiter)
     rows = [["problem", args.problem],
@@ -106,7 +113,27 @@ def cmd_solve(args) -> int:
                   cell_data={"partition": solver.decomposition.part
                              .astype(float)})
         print(f"\nsolution written to {args.vtk}")
+    if recorder is not None:
+        from .obs import write_trace
+        write_trace(recorder, args.telemetry,
+                    format=args.telemetry_format)
+        print(f"\ntelemetry ({args.telemetry_format}) written to "
+              f"{args.telemetry}; view with `repro trace "
+              f"{args.telemetry}` or load the chrome format in "
+              f"ui.perfetto.dev")
     return 0 if report.converged else 1
+
+
+def cmd_trace(args) -> int:
+    from .obs import load_trace, render_trace
+    trace = load_trace(args.path)
+    try:
+        print(render_trace(trace, width=args.width,
+                           max_tracks=args.max_tracks))
+    except BrokenPipeError:            # piped into head/less and closed
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
 
 
 def cmd_info(args) -> int:
@@ -171,6 +198,14 @@ def make_parser() -> argparse.ArgumentParser:
                     help="print the ASCII convergence curve")
     ps.add_argument("--vtk", default="",
                     help="write the solution to this VTK file")
+    ps.add_argument("--telemetry", default="",
+                    help="record a telemetry trace of the whole run and "
+                         "write it to this path")
+    ps.add_argument("--telemetry-format", default="chrome",
+                    choices=("chrome", "jsonl"),
+                    help="trace format: chrome (Perfetto-loadable "
+                         "trace-event JSON) or jsonl (one event per "
+                         "line)")
     ps.set_defaults(fn=cmd_solve)
 
     pi = sub.add_parser("info", help="print problem statistics")
@@ -180,6 +215,16 @@ def make_parser() -> argparse.ArgumentParser:
                          "overlap/neighbour statistics")
     pi.add_argument("--delta", type=int, default=1)
     pi.set_defaults(fn=cmd_info)
+
+    pt = sub.add_parser("trace", help="render a telemetry trace "
+                                      "(chrome or jsonl) as ASCII")
+    pt.add_argument("path", help="trace file written by "
+                                 "`solve --telemetry`")
+    pt.add_argument("--width", type=int, default=78,
+                    help="gantt chart width in characters")
+    pt.add_argument("--max-tracks", type=int, default=16,
+                    help="show at most this many tracks")
+    pt.set_defaults(fn=cmd_trace)
     return p
 
 

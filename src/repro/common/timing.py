@@ -5,6 +5,11 @@ The paper reports per-phase wall-clock times (columns *factorization*,
 accumulates measured seconds per named phase; the scaling harness combines
 these measured local-compute times with modelled communication times from
 :mod:`repro.perfmodel`.
+
+:class:`PhaseTimer` is also a thin adapter over the unified telemetry
+layer: attach a :class:`repro.obs.Recorder` and every phase block is
+additionally recorded as a hierarchical span on the shared clock (phases
+entered while another phase is open nest inside it).
 """
 
 from __future__ import annotations
@@ -24,18 +29,28 @@ class PhaseTimer:
         with timer.phase("factorization"):
             factorize(...)
         timer.seconds("factorization")
+
+    ``recorder`` (optional, a :class:`repro.obs.Recorder`) mirrors every
+    phase as a telemetry span; the default ``None`` keeps the timer
+    standalone with zero added cost.
     """
 
     totals: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
+    recorder: object | None = None
 
     @contextmanager
     def phase(self, name: str):
+        rec = self.recorder
+        handle = rec.span(name).__enter__() \
+            if rec is not None and rec.enabled else None
         start = time.perf_counter()
         try:
             yield self
         finally:
             elapsed = time.perf_counter() - start
+            if handle is not None:
+                handle.__exit__(None, None, None)
             self.totals[name] = self.totals.get(name, 0.0) + elapsed
             self.counts[name] = self.counts.get(name, 0) + 1
 

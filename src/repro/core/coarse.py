@@ -209,20 +209,32 @@ class CoarseOperator:
         Local factorization backend for E.
     parallel:
         Executor for the per-subdomain assembly gemms.
+    recorder:
+        Optional :class:`repro.obs.Recorder` — records the assembly
+        steps as spans (``assemble_E``, ``assemble_AZ``,
+        ``factorize_E``) and counts every coarse solve under the
+        ``coarse_solves`` counter.
     """
 
     def __init__(self, space: DeflationSpace, *, backend: str = "superlu",
                  rank_tol: float = 1e-10,
-                 parallel: ParallelConfig | str | None = None):
+                 parallel: ParallelConfig | str | None = None,
+                 recorder=None):
+        from ..obs.recorder import NULL_RECORDER
         self.space = space
-        blocks, T = coarse_blocks_with_T(space, parallel)
-        self.E = _matrix_from_blocks(space, blocks)
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        with self.recorder.span("assemble_E"):
+            blocks, T = coarse_blocks_with_T(space, parallel)
+            self.E = _matrix_from_blocks(space, blocks)
         #: cached T_i = A_i W_i blocks (block column i of A·Z)
         self.T = T
-        #: assembled sparse A·Z — fixed once the deflation space is built
-        self.AZ = assemble_az(space, T)
+        with self.recorder.span("assemble_AZ"):
+            #: assembled sparse A·Z — fixed once the deflation space is
+            #: built
+            self.AZ = assemble_az(space, T)
         self.rank_deficient = False
-        self.factorization = self._robust_factorize(backend, rank_tol)
+        with self.recorder.span("factorize_E"):
+            self.factorization = self._robust_factorize(backend, rank_tol)
         self.solves = 0
         #: optional :class:`~repro.krylov.SolveProfiler` — when attached,
         #: every coarse solve is timed under its ``coarse_solve`` phase
@@ -259,6 +271,8 @@ class CoarseOperator:
     def solve(self, w: np.ndarray) -> np.ndarray:
         """y = E⁻¹ w (forward elimination + back substitution, §3.2 step 2)."""
         self.solves += 1
+        if self.recorder.enabled:
+            self.recorder.add("coarse_solves", 1)
         if self.profiler is not None:
             with self.profiler.phase("coarse_solve"):
                 return self.factorization.solve(w)

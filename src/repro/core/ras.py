@@ -30,7 +30,8 @@ class OneLevelRAS:
     weighted = True
 
     def __init__(self, dec: Decomposition, *, backend: str = "superlu",
-                 parallel: ParallelConfig | str | None = None):
+                 parallel: ParallelConfig | str | None = None,
+                 recorder=None):
         self.dec = dec
         self.backend = backend
         self.parallel = resolve_parallel(parallel)
@@ -38,7 +39,8 @@ class OneLevelRAS:
         #: *factorization* phase of figs. 8/10 is the max of these
         self.factorizations, self.factor_times = timed_map(
             lambda s: factorize(s.A_dir, backend),
-            dec.subdomains, self.parallel)
+            dec.subdomains, self.parallel,
+            recorder=recorder, label="factorize")
         self.applications = 0
 
     def apply(self, r: np.ndarray) -> np.ndarray:

@@ -98,6 +98,13 @@ class SchwarzSolver:
         name like ``"threads"``, or ``None`` for serial).  Results are
         bitwise identical across executors; per-subdomain seeds and
         phase times are preserved.
+    recorder:
+        Optional :class:`repro.obs.Recorder`.  When given, every setup
+        phase and per-subdomain task becomes a hierarchical span, the
+        Krylov loop emits per-iteration convergence events, and the
+        whole run can be exported with :func:`repro.obs.write_trace`.
+        ``None`` (default) uses the no-op recorder — un-instrumented
+        runs pay essentially nothing.
     """
 
     def __init__(self, mesh: SimplexMesh, form: Form, *,
@@ -111,7 +118,9 @@ class SchwarzSolver:
                  dirichlet=None, part: np.ndarray | None = None,
                  scaling: str | None = "jacobi",
                  seed: int = 0,
-                 parallel: ParallelConfig | str | None = None):
+                 parallel: ParallelConfig | str | None = None,
+                 recorder=None):
+        from ..obs.recorder import NULL_RECORDER
         if levels not in (1, 2):
             raise ReproError(f"levels must be 1 or 2, got {levels}")
         if preconditioner is None:
@@ -120,9 +129,24 @@ class SchwarzSolver:
         if krylov not in _KRYLOV:
             raise ReproError(f"unknown krylov method {krylov!r}; "
                              f"expected one of {sorted(_KRYLOV)}")
-        self.timer = PhaseTimer()
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        self.timer = PhaseTimer(recorder=self.recorder)
         self.parallel = resolve_parallel(parallel)
 
+        with self.recorder.span("setup"):
+            self._setup(mesh, form, num_subdomains, delta, nev, tau,
+                        preconditioner, backend, coarse_backend,
+                        partition_method, eigensolver, dirichlet, part,
+                        scaling, seed)
+        self.preconditioner_name = preconditioner
+        if self.recorder.enabled:
+            self.recorder.gauge("num_subdomains",
+                                self.decomposition.num_subdomains)
+            self.recorder.gauge("coarse_dim", self.coarse_dim)
+
+    def _setup(self, mesh, form, num_subdomains, delta, nev, tau,
+               preconditioner, backend, coarse_backend, partition_method,
+               eigensolver, dirichlet, part, scaling, seed) -> None:
         self.problem = Problem(mesh, form, dirichlet=dirichlet,
                                scaling=scaling)
         if part is None:
@@ -131,14 +155,16 @@ class SchwarzSolver:
         with self.timer.phase("decomposition"):
             self.decomposition = Decomposition(self.problem, part,
                                                delta=delta,
-                                               parallel=self.parallel)
+                                               parallel=self.parallel,
+                                               recorder=self.recorder)
 
         with self.timer.phase("factorization"):
             one_level_cls = OneLevelASM if preconditioner in ("asm", "bnn") \
                 else OneLevelRAS
             self.one_level = one_level_cls(self.decomposition,
                                            backend=backend,
-                                           parallel=self.parallel)
+                                           parallel=self.parallel,
+                                           recorder=self.recorder)
 
         self.deflation: DeflationSpace | None = None
         self.coarse: CoarseOperator | None = None
@@ -157,14 +183,16 @@ class SchwarzSolver:
                 # timed_map records each subdomain on its own clock
                 # (figs. 8/10 SPMD wall-clock = max over subdomains)
                 results, self.deflation_times = timed_map(
-                    deflate, self.decomposition.subdomains, self.parallel)
+                    deflate, self.decomposition.subdomains, self.parallel,
+                    recorder=self.recorder, label="geneo")
                 self.geneo_results = results
                 self.deflation = DeflationSpace(
                     self.decomposition, [r.W for r in results])
             with self.timer.phase("coarse"):
                 self.coarse = CoarseOperator(self.deflation,
                                              backend=coarse_backend,
-                                             parallel=self.parallel)
+                                             parallel=self.parallel,
+                                             recorder=self.recorder)
             if preconditioner == "adef1":
                 self.preconditioner = TwoLevelADEF1(self.one_level,
                                                     self.coarse)
@@ -178,7 +206,6 @@ class SchwarzSolver:
             self.preconditioner = self.one_level
         else:
             raise ReproError(f"unknown preconditioner {preconditioner!r}")
-        self.preconditioner_name = preconditioner
 
     # ------------------------------------------------------------------
     @property
@@ -210,7 +237,7 @@ class SchwarzSolver:
         # one profiler shared between the Krylov loop (matvec / apply /
         # orthogonalization) and the coarse operator (coarse_solve, a
         # sub-interval of apply) — surfaced on KrylovResult.profile
-        profiler = SolveProfiler()
+        profiler = SolveProfiler(recorder=self.recorder)
         if self.coarse is not None:
             self.coarse.profiler = profiler
         kwargs = dict(M=self.preconditioner.apply, tol=tol, maxiter=maxiter,
@@ -219,6 +246,8 @@ class SchwarzSolver:
             kwargs["restart"] = restart
         with self.timer.phase("solution"):
             res = method(self.operator, b, **kwargs)
+        if self.recorder.enabled:
+            self.recorder.gauge("iterations", res.iterations)
         return SolveReport(
             x=self.problem.extend(res.x), krylov=res, timer=self.timer,
             num_subdomains=self.decomposition.num_subdomains,

@@ -85,10 +85,17 @@ class Decomposition:
         Executor for the per-subdomain extraction/assembly loop
         (:class:`~repro.parallel.ParallelConfig`, a backend name, or
         ``None`` for serial).  Results are executor-independent.
+    recorder:
+        Optional :class:`repro.obs.Recorder` — records the build steps
+        as spans (``build_subdomains``, ``apply_scaling``,
+        ``build_exchange``) and counts every distributed matvec under
+        the ``matvecs`` counter.
     """
 
     def __init__(self, problem: Problem, part: np.ndarray, delta: int = 1,
-                 *, parallel: ParallelConfig | str | None = None):
+                 *, parallel: ParallelConfig | str | None = None,
+                 recorder=None):
+        from ..obs.recorder import NULL_RECORDER
         part = np.asarray(part, dtype=np.int64)
         if part.shape != (problem.mesh.num_cells,):
             raise DecompositionError(
@@ -101,12 +108,16 @@ class Decomposition:
         self.delta = int(delta)
         self.parallel = resolve_parallel(parallel)
         self.num_subdomains = int(part.max()) + 1
+        self.recorder = NULL_RECORDER if recorder is None else recorder
         #: number of distributed A·x products performed (the solve-phase
         #: SpMV counter — the fast A-DEF1 apply path must not move it)
         self.matvecs = 0
-        self._build_subdomains()
-        self._apply_scaling()
-        self._build_exchange()
+        with self.recorder.span("build_subdomains"):
+            self._build_subdomains()
+        with self.recorder.span("apply_scaling"):
+            self._apply_scaling()
+        with self.recorder.span("build_exchange"):
+            self._build_exchange()
 
     # ------------------------------------------------------------------
     def _apply_scaling(self) -> None:
@@ -296,6 +307,8 @@ class Decomposition:
         the partition of unity (each dof's value is identical on every
         subdomain owning it, so any weighted combination returns it)."""
         self.matvecs += 1
+        if self.recorder.enabled:
+            self.recorder.add("matvecs", 1)
         y_list = self.matvec_local(self.restrict(x))
         return self.combine(y_list)
 

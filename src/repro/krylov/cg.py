@@ -38,6 +38,7 @@ def cg(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     rz = float(r @ z)
     syncs = 2
     residuals = [float(np.linalg.norm(r)) / bnorm]
+    prof.iteration(0, residuals[0])
     it = 0
     while residuals[-1] * bnorm > target and it < maxiter:
         Ap = A_mul(p)
@@ -58,6 +59,7 @@ def cg(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         p = z + beta * p
         it += 1
         residuals.append(float(np.linalg.norm(r)) / bnorm)
+        prof.iteration(it, residuals[-1])
         syncs += 1
         if callback is not None:
             callback(it, residuals[-1])

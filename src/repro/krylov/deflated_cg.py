@@ -18,11 +18,13 @@ import scipy.sparse as sp
 from ..common.errors import KrylovError
 from ..solvers import factorize
 from .gmres import KrylovResult, _as_operator
+from .profile import SolveProfiler
 
 
 def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
                 maxiter: int = 1000, backend: str = "dense",
-                callback=None) -> KrylovResult:
+                callback=None,
+                profiler: SolveProfiler | None = None) -> KrylovResult:
     """Deflated (and optionally preconditioned) CG.
 
     Parameters
@@ -36,8 +38,9 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
     """
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
-    A_mul = _as_operator(A, n, "A")
-    M_mul = _as_operator(M, n, "M")
+    prof = profiler if profiler is not None else SolveProfiler()
+    A_mul = prof.wrap(_as_operator(A, n, "A"), "matvec")
+    M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
     Zd = Z.toarray() if sp.issparse(Z) else np.asarray(Z, dtype=np.float64)
     if Zd.ndim != 2 or Zd.shape[0] != n:
         raise KrylovError(f"Z must be (n, m) with n={n}, got {Zd.shape}")
@@ -56,7 +59,8 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0])
+        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0],
+                            profile=prof.as_dict())
     target = tol * bnorm
 
     x_coarse = Zd @ Ef.solve(Zd.T @ b)      # Q b
@@ -66,6 +70,7 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
     p = z.copy()
     rz = float(r @ z)
     residuals = [float(np.linalg.norm(r)) / bnorm]
+    prof.iteration(0, residuals[0])
     it = 0
     while residuals[-1] * bnorm > target and it < maxiter:
         Ap = P(A_mul(p))
@@ -89,9 +94,11 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
         p = z + beta * p
         it += 1
         residuals.append(float(np.linalg.norm(r)) / bnorm)
+        prof.iteration(it, residuals[-1])
         if callback is not None:
             callback(it, residuals[-1])
     x = x_coarse + Pt(xhat)
     true_res = float(np.linalg.norm(b - A_mul(x))) / bnorm
     return KrylovResult(x=x, iterations=it, residuals=residuals,
-                        converged=true_res <= tol * 10)
+                        converged=true_res <= tol * 10,
+                        profile=prof.as_dict())

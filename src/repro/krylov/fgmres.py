@@ -43,6 +43,7 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     residuals: list[float] = []
     syncs = 0
     total_it = 0
+    cycle = 0
 
     # workspaces allocated once, reused across restarts
     m = restart
@@ -54,10 +55,14 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     scratch = np.empty(n)
 
     while True:
+        if cycle > 0:
+            prof.restart(cycle, total_it)
+        cycle += 1
         r = b - A_mul(x)
         beta = float(np.linalg.norm(r))
         syncs += 1
         residuals.append(beta / bnorm)
+        prof.iteration(total_it, beta / bnorm)
         if callback is not None:
             callback(total_it, beta / bnorm)
         if beta <= target or total_it >= maxiter:
@@ -80,6 +85,8 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                 syncs += 1
                 if H[j + 1, j] > 0:
                     np.divide(w, H[j + 1, j], out=V[:, j + 1])
+                else:
+                    prof.orthogonality_loss(total_it, float(H[j + 1, j]))
             for i in range(j):
                 t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
                 H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
@@ -94,6 +101,7 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             total_it += 1
             j_done = j + 1
             residuals.append(abs(g[j + 1]) / bnorm)
+            prof.iteration(total_it, residuals[-1])
             if callback is not None:
                 callback(total_it, residuals[-1])
             if abs(g[j + 1]) <= target or total_it >= maxiter:
@@ -107,6 +115,7 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         rtrue = float(np.linalg.norm(b - A_mul(x)))
         if rtrue <= target:
             residuals[-1] = rtrue / bnorm
+            prof.iteration(total_it, rtrue / bnorm, corrected=True)
             break
         if total_it >= maxiter:
             return KrylovResult(x=x, iterations=total_it,

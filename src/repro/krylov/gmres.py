@@ -113,6 +113,7 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     residuals: list[float] = []
     syncs = 0
     total_it = 0
+    cycle = 0
 
     # workspaces allocated once, reused across restarts
     m = restart
@@ -124,10 +125,14 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     scratch = np.empty(n)
 
     while True:
+        if cycle > 0:
+            prof.restart(cycle, total_it)
+        cycle += 1
         r = b - A_mul(x)
         beta = float(np.linalg.norm(r))
         syncs += 1
         residuals.append(beta / bnorm)
+        prof.iteration(total_it, beta / bnorm)
         if callback is not None:
             callback(total_it, beta / bnorm)
         if beta <= target or total_it >= maxiter:
@@ -151,6 +156,9 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                 syncs += 1
                 if H[j + 1, j] > 0:
                     np.divide(w, H[j + 1, j], out=V[:, j + 1])
+                else:
+                    # lucky breakdown — the basis stopped growing
+                    prof.orthogonality_loss(total_it, float(H[j + 1, j]))
             # apply stored Givens rotations to the new column
             for i in range(j):
                 t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
@@ -170,6 +178,7 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             j_done = j + 1
             res = abs(g[j + 1])
             residuals.append(res / bnorm)
+            prof.iteration(total_it, res / bnorm)
             if callback is not None:
                 callback(total_it, res / bnorm)
             if res <= target or total_it >= maxiter:
@@ -181,6 +190,7 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         rtrue = float(np.linalg.norm(b - A_mul(x)))
         if rtrue <= target:
             residuals[-1] = rtrue / bnorm
+            prof.iteration(total_it, rtrue / bnorm, corrected=True)
             break
         if total_it >= maxiter:
             if raise_on_stall:

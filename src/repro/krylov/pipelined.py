@@ -54,6 +54,7 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     blocking_syncs = 0
     overlapped = 0
     total_it = 0
+    cycle = 0
 
     # workspaces allocated once, reused across restarts
     m = restart
@@ -62,10 +63,14 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     H = np.zeros((m + 2, m + 1))
 
     while True:
+        if cycle > 0:
+            prof.restart(cycle, total_it)
+        cycle += 1
         r = b - A_mul(x)
         beta = float(np.linalg.norm(r))
         blocking_syncs += 1
         residuals.append(beta / bnorm)
+        prof.iteration(total_it, beta / bnorm)
         if callback is not None:
             callback(total_it, beta / bnorm)
         if beta <= target or total_it >= maxiter:
@@ -80,7 +85,9 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             if i > 1:
                 eta = H[i - 1, i - 2]
                 if eta == 0.0:
-                    break        # lucky breakdown: basis is invariant
+                    # lucky breakdown: basis is invariant
+                    prof.orthogonality_loss(total_it, 0.0)
+                    break
                 V[:, i - 1] /= eta
                 Z[:, i] /= eta
                 w /= eta
@@ -107,6 +114,7 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             if finalized:
                 res = _lsq_residual(H, beta, finalized)
                 residuals.append(res / bnorm)
+                prof.iteration(total_it, res / bnorm)
                 if callback is not None:
                     callback(total_it, res / bnorm)
                 if res <= target or total_it >= maxiter:
@@ -121,6 +129,7 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         blocking_syncs += 1
         if rtrue <= target:
             residuals[-1] = rtrue / bnorm
+            prof.iteration(total_it, rtrue / bnorm, corrected=True)
             break
         if total_it >= maxiter:
             res = KrylovResult(x=x, iterations=total_it, residuals=residuals,

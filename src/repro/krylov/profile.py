@@ -13,12 +13,22 @@ loop; preconditioner objects that hold a reference to the same profiler
 coarse solves into it, so ``coarse_solve`` is a sub-interval of
 ``apply``.  The accumulated seconds surface on
 :attr:`~repro.krylov.KrylovResult.profile` and in the CLI report.
+
+As an adapter over the unified telemetry layer, a profiler constructed
+with a :class:`repro.obs.Recorder` additionally records every phase as a
+hierarchical span (``coarse_solve`` nests inside ``apply`` structurally,
+because the coarse solve runs while the ``apply`` span is open on the
+same thread) and emits per-iteration convergence events
+(:meth:`iteration`, :meth:`restart`, :meth:`orthogonality_loss`) that
+the drivers feed.  Without a recorder all telemetry calls are no-ops.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+
+from ..obs.recorder import NULL_RECORDER
 
 
 class SolveProfiler:
@@ -27,36 +37,76 @@ class SolveProfiler:
     Phases are created on first use.  ``coarse_solve`` time is nested
     inside ``apply`` (the coarse solve happens during the preconditioner
     application), so the phases are cost centres, not a partition.
+
+    Parameters
+    ----------
+    recorder:
+        Optional :class:`repro.obs.Recorder`; when attached, phases are
+        mirrored as telemetry spans and the event helpers record.  The
+        default is the shared no-op recorder (~zero cost).
     """
 
-    __slots__ = ("times", "calls")
+    __slots__ = ("times", "calls", "recorder")
 
-    def __init__(self):
+    def __init__(self, recorder=None):
         self.times: dict[str, float] = {}
         self.calls: dict[str, int] = {}
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+
+    def _note(self, name: str, dt: float) -> None:
+        self.times[name] = self.times.get(name, 0.0) + dt
+        self.calls[name] = self.calls.get(name, 0) + 1
 
     @contextmanager
     def phase(self, name: str):
+        rec = self.recorder
+        handle = rec.span(name).__enter__() if rec.enabled else None
         t0 = time.perf_counter()
         try:
             yield
         finally:
             dt = time.perf_counter() - t0
-            self.times[name] = self.times.get(name, 0.0) + dt
-            self.calls[name] = self.calls.get(name, 0) + 1
+            if handle is not None:
+                handle.__exit__(None, None, None)
+            self._note(name, dt)
 
     def wrap(self, fn, name: str):
-        """Return *fn* instrumented to accumulate under phase *name*."""
+        """Return *fn* instrumented to accumulate under phase *name*
+        (one :meth:`phase` block per call)."""
 
         def timed(x):
-            t0 = time.perf_counter()
-            out = fn(x)
-            dt = time.perf_counter() - t0
-            self.times[name] = self.times.get(name, 0.0) + dt
-            self.calls[name] = self.calls.get(name, 0) + 1
-            return out
+            with self.phase(name):
+                return fn(x)
 
         return timed
+
+    # -- per-iteration convergence events ------------------------------
+    def iteration(self, k: int, residual: float, *,
+                  corrected: bool = False) -> None:
+        """One relative-residual sample, aligned with
+        ``KrylovResult.residuals`` (``corrected=True`` marks the restart
+        loop replacing its last estimate with the true residual —
+        :func:`repro.obs.iteration_residuals` reapplies the semantics)."""
+        rec = self.recorder
+        if rec.enabled:
+            attrs = {"k": int(k), "residual": float(residual)}
+            if corrected:
+                attrs["corrected"] = True
+            rec.event("iteration", attrs=attrs)
+
+    def restart(self, cycle: int, k: int) -> None:
+        """A restart boundary: cycle *cycle* begins at iteration *k*."""
+        rec = self.recorder
+        if rec.enabled:
+            rec.event("restart", attrs={"cycle": int(cycle), "k": int(k)})
+
+    def orthogonality_loss(self, k: int, value: float) -> None:
+        """Orthogonalisation produced a (numerically) zero new direction
+        — a lucky breakdown or a loss of basis orthogonality."""
+        rec = self.recorder
+        if rec.enabled:
+            rec.event("orthogonality_loss",
+                      attrs={"k": int(k), "value": float(value)})
 
     def as_dict(self) -> dict[str, float]:
         """Accumulated seconds per phase (a plain copy)."""

@@ -20,11 +20,13 @@ import numpy as np
 
 from ..common.errors import KrylovError
 from .gmres import KrylovResult, _as_operator
+from .profile import SolveProfiler
 
 
 def s_step_gmres(A, b: np.ndarray, *, M=None, s: int = 6,
                  x0: np.ndarray | None = None, tol: float = 1e-6,
-                 maxiter: int = 1000, callback=None) -> KrylovResult:
+                 maxiter: int = 1000, callback=None,
+                 profiler: SolveProfiler | None = None) -> KrylovResult:
     """Right-preconditioned s-step GMRES (restart length = s).
 
     Parameters
@@ -37,26 +39,33 @@ def s_step_gmres(A, b: np.ndarray, *, M=None, s: int = 6,
     n = b.shape[0]
     if not (1 <= s <= n):
         raise KrylovError(f"s must be in [1, {n}], got {s}")
-    A_mul = _as_operator(A, n, "A")
-    M_mul = _as_operator(M, n, "M")
+    prof = profiler if profiler is not None else SolveProfiler()
+    A_mul = prof.wrap(_as_operator(A, n, "A"), "matvec")
+    M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
     op = lambda v: A_mul(M_mul(v))          # noqa: E731
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0])
+        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0],
+                            profile=prof.as_dict())
     target = tol * bnorm
 
     residuals: list[float] = []
     syncs = 0
     total_it = 0
+    cycle = 0
     theta = None                             # spectral-radius estimate
 
     while True:
+        if cycle > 0:
+            prof.restart(cycle, total_it)
+        cycle += 1
         r = b - A_mul(x)
         beta = float(np.linalg.norm(r))
         syncs += 1
         residuals.append(beta / bnorm)
+        prof.iteration(total_it, beta / bnorm)
         if callback is not None:
             callback(total_it, beta / bnorm)
         if beta <= target or total_it >= maxiter:
@@ -79,7 +88,8 @@ def s_step_gmres(A, b: np.ndarray, *, M=None, s: int = 6,
 
         # ---- orthonormalise with two batched reductions ---------------
         # CholeskyQR: G = PᵀP (reduction #1), P Q R with R = chol(G)ᵀ
-        G = P.T @ P
+        with prof.phase("orthogonalization"):
+            G = P.T @ P
         syncs += 1
         # regularise: the monomial basis may be numerically rank-deficient
         eps = 1e-14 * max(float(np.trace(G)) / (s + 1), 1e-300)
@@ -114,16 +124,19 @@ def s_step_gmres(A, b: np.ndarray, *, M=None, s: int = 6,
         total_it += k
         est = float(np.linalg.norm(g[: k + 1] - H[: k + 1, :k] @ y))
         residuals.append(est / bnorm)
+        prof.iteration(total_it, est / bnorm)
         if callback is not None:
             callback(total_it, residuals[-1])
         if total_it >= maxiter:
             rtrue = float(np.linalg.norm(b - A_mul(x)))
             residuals[-1] = rtrue / bnorm
+            prof.iteration(total_it, rtrue / bnorm, corrected=True)
             return KrylovResult(x=x, iterations=total_it,
                                 residuals=residuals,
                                 converged=rtrue <= target,
-                                global_syncs=syncs)
+                                global_syncs=syncs,
+                                profile=prof.as_dict())
     return KrylovResult(x=x, iterations=total_it, residuals=residuals,
                         converged=residuals[-1] * bnorm
                         <= target * (1 + 1e-12),
-                        global_syncs=syncs)
+                        global_syncs=syncs, profile=prof.as_dict())

@@ -12,6 +12,9 @@ import threading
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
+
+from ..obs.recorder import NULL_RECORDER
 
 
 def payload_bytes(obj) -> int:
@@ -20,6 +23,17 @@ def payload_bytes(obj) -> int:
         return 0
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
+    if sp.issparse(obj):
+        # sum the index/value arrays of whichever sparse layout this is
+        # (CSR/CSC/BSR: data+indices+indptr, COO: data+row+col, DIA:
+        # data+offsets) — the coarse-block payloads of §3.3 must count
+        # as their wire size, not the 64-byte opaque fallback
+        total = 0
+        for attr in ("data", "indices", "indptr", "row", "col", "offsets"):
+            arr = getattr(obj, attr, None)
+            if isinstance(arr, np.ndarray):
+                total += arr.nbytes
+        return int(total)
     if isinstance(obj, (bytes, bytearray)):
         return len(obj)
     if isinstance(obj, (int, float, complex, np.integer, np.floating)):
@@ -53,14 +67,23 @@ class RankStats:
 
 
 class Meter:
-    """Thread-safe container of :class:`RankStats`, one per world rank."""
+    """Thread-safe container of :class:`RankStats`, one per world rank.
 
-    def __init__(self, world_size: int):
+    As an adapter over the unified telemetry layer, a meter constructed
+    with a :class:`repro.obs.Recorder` additionally feeds the aggregate
+    traffic counters ``mpi.sends`` / ``mpi.send_bytes`` / ``mpi.recvs``
+    / ``mpi.recv_bytes`` / ``mpi.collective.<kind>`` /
+    ``mpi.collective_bytes`` / ``mpi.global_syncs``; per-rank detail
+    stays on :class:`RankStats`.
+    """
+
+    def __init__(self, world_size: int, *, recorder=None):
         self.world_size = world_size
         self._stats = [RankStats() for _ in range(world_size)]
         self._lock = threading.Lock()
         #: optional :class:`repro.mpi.trace.Tracer` for span recording
         self.tracer = None
+        self.recorder = NULL_RECORDER if recorder is None else recorder
 
     def stats(self, world_rank: int) -> RankStats:
         return self._stats[world_rank]
@@ -70,18 +93,32 @@ class Meter:
         with self._lock:
             s.sends += 1
             s.send_bytes += nbytes
+        rec = self.recorder
+        if rec.enabled:
+            rec.add("mpi.sends", 1)
+            rec.add("mpi.send_bytes", nbytes)
 
     def on_recv(self, world_rank: int, nbytes: int) -> None:
         s = self._stats[world_rank]
         with self._lock:
             s.recvs += 1
             s.recv_bytes += nbytes
+        rec = self.recorder
+        if rec.enabled:
+            rec.add("mpi.recvs", 1)
+            rec.add("mpi.recv_bytes", nbytes)
 
     def on_collective(self, world_rank: int, kind: str, nbytes: int,
                       *, is_global_sync: bool) -> None:
         with self._lock:
             self._stats[world_rank].record_collective(
                 kind, nbytes, is_global_sync=is_global_sync)
+        rec = self.recorder
+        if rec.enabled:
+            rec.add(f"mpi.collective.{kind}", 1)
+            rec.add("mpi.collective_bytes", nbytes)
+            if is_global_sync:
+                rec.add("mpi.global_syncs", 1)
 
     # ------------------------------------------------------------------
     def total_messages(self) -> int:

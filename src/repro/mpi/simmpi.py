@@ -451,18 +451,29 @@ class NeighborComm:
 # ----------------------------------------------------------------------
 
 def run_spmd(nranks: int, fn, *args, meter: Meter | None = None,
-             **kwargs) -> list:
+             recorder=None, **kwargs) -> list:
     """Run ``fn(comm, *args, **kwargs)`` on *nranks* simulated ranks.
 
     Each rank executes in its own thread against a shared world
     communicator.  Returns the list of per-rank return values.  The first
     rank failure is re-raised (other ranks are unblocked through the
     shared error box).
+
+    Passing a :class:`repro.obs.Recorder` as *recorder* instruments the
+    run end to end: the (possibly auto-created) meter feeds the ``mpi.*``
+    traffic counters, and a per-rank :class:`~repro.mpi.trace.Tracer` is
+    attached (unless the caller already set one) so rank spans land on
+    the shared timeline as ``rank{r}`` tracks.
     """
     if nranks < 1:
         raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
     if meter is None:
-        meter = Meter(nranks)
+        meter = Meter(nranks, recorder=recorder)
+    elif recorder is not None and not meter.recorder.enabled:
+        meter.recorder = recorder
+    if recorder is not None and recorder.enabled and meter.tracer is None:
+        from .trace import Tracer
+        meter.tracer = Tracer(nranks, recorder=recorder)
     error_box = _ErrorBox()
     ctx = _Context(tuple(range(nranks)), meter, error_box, is_world=True)
     results: list = [None] * nranks

@@ -5,6 +5,12 @@ records labelled time spans per rank (local solves, exchanges, coarse
 corrections…), and renders them as an ASCII Gantt chart — the poor
 man's Vampir for inspecting what the fused pipeline of §3.5 actually
 overlaps.
+
+As an adapter over the unified telemetry layer, a tracer constructed
+with a :class:`repro.obs.Recorder` forwards every rank span onto the
+shared timeline (track ``rank{r}``, nesting with whatever span is open
+on that rank's thread), so SPMD traces export next to setup and solve
+spans in one Chrome trace.
 """
 
 from __future__ import annotations
@@ -27,10 +33,15 @@ class Span:
 
 @dataclass
 class Tracer:
-    """Collects labelled spans per world rank."""
+    """Collects labelled spans per world rank.
+
+    ``recorder`` (optional :class:`repro.obs.Recorder`) mirrors every
+    span onto the unified timeline under track ``rank{r}``.
+    """
 
     world_size: int
     spans: list[list[Span]] = field(default_factory=list)
+    recorder: object | None = None
 
     def __post_init__(self):
         if not self.spans:
@@ -39,11 +50,16 @@ class Tracer:
 
     @contextmanager
     def span(self, rank: int, label: str):
+        rec = self.recorder
+        handle = rec.span(label, track=f"rank{rank}").__enter__() \
+            if rec is not None and rec.enabled else None
         start = time.perf_counter() - self._t0
         try:
             yield
         finally:
             end = time.perf_counter() - self._t0
+            if handle is not None:
+                handle.__exit__(None, None, None)
             self.spans[rank].append(Span(label, start, end))
 
     # ------------------------------------------------------------------

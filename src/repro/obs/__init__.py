@@ -1,0 +1,44 @@
+"""Unified telemetry: hierarchical spans, counters, exportable traces.
+
+One :class:`Recorder` threads through setup (``SchwarzSolver`` →
+``Decomposition``/``CoarseOperator``), the solve phase (every Krylov
+driver), the parallel setup engine and the simulated MPI layer; the four
+legacy mechanisms (``PhaseTimer``, ``SolveProfiler``, ``Tracer``,
+``Meter``) are thin adapters over it.  See ``docs/observability.md``.
+"""
+
+from .export import (
+    FORMATS,
+    TraceData,
+    load_trace,
+    render_trace,
+    summary,
+    to_chrome_trace,
+    to_jsonl,
+    write_trace,
+)
+from .recorder import (
+    NULL_RECORDER,
+    EventRecord,
+    NullRecorder,
+    Recorder,
+    SpanRecord,
+    iteration_residuals,
+)
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "SpanRecord",
+    "EventRecord",
+    "iteration_residuals",
+    "FORMATS",
+    "TraceData",
+    "to_chrome_trace",
+    "to_jsonl",
+    "summary",
+    "write_trace",
+    "load_trace",
+    "render_trace",
+]

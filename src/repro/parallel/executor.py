@@ -115,6 +115,7 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
 
 def timed_map(fn: Callable[[T], R], items: Sequence[T],
               parallel: ParallelConfig | str | None = None,
+              *, recorder=None, label: str | None = None,
               ) -> tuple[list[R], list[float]]:
     """:func:`parallel_map` that also times each task on its own clock.
 
@@ -122,12 +123,24 @@ def timed_map(fn: Callable[[T], R], items: Sequence[T],
     is the wall-clock of task *i* alone — the per-subdomain phase times
     of figs. 8/10, valid under any executor (SPMD wall-clock of the
     phase = ``max(seconds)``).
-    """
 
-    def run(x: T) -> tuple[R, float]:
+    With a :class:`repro.obs.Recorder` as *recorder*, task *i* is also
+    recorded as the span ``{label}[{i}]`` on the worker thread that ran
+    it (accumulation into the recorder is thread-safe), so the executor's
+    concurrency is visible in exported traces — one track per worker.
+    """
+    use_rec = recorder is not None and recorder.enabled
+    name = label if label is not None else "task"
+
+    def run(ix: tuple[int, T]) -> tuple[R, float]:
+        i, x = ix
         t0 = time.perf_counter()
-        out = fn(x)
+        if use_rec:
+            with recorder.span(f"{name}[{i}]"):
+                out = fn(x)
+        else:
+            out = fn(x)
         return out, time.perf_counter() - t0
 
-    pairs = parallel_map(run, items, parallel)
+    pairs = parallel_map(run, list(enumerate(items)), parallel)
     return [p[0] for p in pairs], [p[1] for p in pairs]

@@ -176,3 +176,57 @@ class TestPropertyBased:
         b = rng.standard_normal(n)
         r = p1_gmres(A, b, tol=1e-9, restart=n + 3, maxiter=10 * n)
         assert np.linalg.norm(A @ r.x - b) <= 1e-5 * np.linalg.norm(b)
+
+
+class TestIterationEvents:
+    """Per-iteration telemetry events must reconstruct the residual
+    history of every driver exactly (restart fixups included)."""
+
+    def _events_match(self, driver, system, **kw):
+        from repro.krylov import SolveProfiler
+        from repro.obs import Recorder, iteration_residuals
+        A, b, _ = system
+        rec = Recorder()
+        r = driver(A, b, profiler=SolveProfiler(recorder=rec), **kw)
+        assert iteration_residuals(rec) == r.residuals
+        return rec, r
+
+    def test_gmres(self, system):
+        self._events_match(gmres, system, tol=1e-8, restart=80,
+                           maxiter=400)
+
+    def test_gmres_restarted(self, system):
+        rec, r = self._events_match(gmres, system, tol=1e-8, restart=5,
+                                    maxiter=600)
+        restarts = [e for e in rec.events if e.name == "restart"]
+        assert len(restarts) >= 1
+        assert restarts[0].attrs["cycle"] == 1
+
+    def test_p1_gmres(self, system):
+        rec, r = self._events_match(p1_gmres, system, tol=1e-8,
+                                    restart=5, maxiter=600)
+        assert any(e.name == "restart" for e in rec.events)
+
+    def test_cg(self, system):
+        self._events_match(cg, system, tol=1e-8, maxiter=600)
+
+    def test_fgmres(self, system):
+        from repro.krylov import fgmres
+        self._events_match(fgmres, system, tol=1e-8, restart=5,
+                           maxiter=600)
+
+    def test_s_step_gmres(self, system):
+        from repro.krylov import s_step_gmres
+        self._events_match(s_step_gmres, system, tol=1e-6, s=6,
+                           maxiter=600)
+
+    def test_no_recorder_emits_nothing(self, system):
+        """The default profiler records zero events — drivers stay
+        telemetry-free unless a Recorder is attached."""
+        from repro.krylov import SolveProfiler
+        A, b, _ = system
+        prof = SolveProfiler()
+        r = gmres(A, b, tol=1e-8, restart=5, maxiter=600, profiler=prof)
+        assert r.converged
+        assert not prof.recorder.enabled
+        assert not prof.recorder.events

@@ -59,6 +59,61 @@ class TestTracer:
         assert len(tr.spans[0]) == 1
 
 
+class TestGanttEdgeCases:
+    def test_empty_rows_still_render(self):
+        """Ranks without spans get an (empty) row, not an exception."""
+        tr = Tracer(3)
+        tr.spans[1].append(Span("mid", 0.0, 1.0))
+        out = tr.gantt(width=30)
+        lines = out.splitlines()
+        assert any(ln.startswith("rank   0") for ln in lines)
+        assert any(ln.startswith("rank   2") for ln in lines)
+        row0 = next(ln for ln in lines if ln.startswith("rank   0"))
+        assert set(row0.split("|")[1]) <= {" "}
+
+    def test_zero_duration_span(self):
+        """A zero-length span paints at least one cell and the horizon
+        stays positive (no division by zero)."""
+        tr = Tracer(1)
+        tr.spans[0].append(Span("instant", 0.5, 0.5))
+        out = tr.gantt(width=30)
+        assert "[#] instant" in out
+        row = next(ln for ln in out.splitlines()
+                   if ln.startswith("rank   0"))
+        assert row.count("#") == 1
+
+    def test_truncation_line_counts_hidden_ranks(self):
+        tr = Tracer(20)
+        for r in range(20):
+            tr.spans[r].append(Span("x", 0, 1))
+        out = tr.gantt(max_ranks=16)
+        assert "... (4 more ranks)" in out
+        assert "rank  15" in out and "rank  16" not in out
+
+    def test_glyph_reuse_past_ten_labels(self):
+        """The glyph alphabet has 10 symbols; label 11 wraps around to
+        the first glyph rather than failing."""
+        tr = Tracer(1)
+        for i in range(12):
+            tr.spans[0].append(Span(f"lab{i}", float(i), float(i) + 0.5))
+        out = tr.gantt(width=60)
+        assert "[#] lab0" in out and "[#] lab10" in out
+        assert "[*] lab1" in out and "[*] lab11" in out
+
+    def test_recorder_mirroring(self):
+        """A tracer built with a Recorder forwards spans onto the shared
+        timeline under the rank's track."""
+        from repro.obs import Recorder
+        rec = Recorder()
+        tr = Tracer(2, recorder=rec)
+        with tr.span(1, "exchange"):
+            pass
+        assert len(tr.spans[1]) == 1
+        mirrored = rec.find("exchange")
+        assert len(mirrored) == 1
+        assert mirrored[0].track == "rank1"
+
+
 class TestTracerIntegration:
     def test_spmd_solve_records_phases(self):
         from repro import SchwarzSolver
