@@ -9,6 +9,23 @@ subpackages ``mesh``, ``fem``, ``partition``, ``dd``, ``core``,
 
 from .core.solver import SchwarzSolver, SolveReport
 from .parallel import ParallelConfig
+from .resilience import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    HealthMonitor,
+    RecoveryPolicy,
+)
 
 __version__ = "1.0.0"
-__all__ = ["SchwarzSolver", "SolveReport", "ParallelConfig", "__version__"]
+__all__ = [
+    "SchwarzSolver",
+    "SolveReport",
+    "ParallelConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "HealthMonitor",
+    "RecoveryPolicy",
+    "__version__",
+]

@@ -79,11 +79,16 @@ def cmd_solve(args) -> int:
     if args.telemetry:
         from .obs import Recorder
         recorder = Recorder()
+    faults = None
+    if args.faults:
+        from .resilience import FaultPlan
+        faults = FaultPlan.load(args.faults)
     solver = SchwarzSolver(
         mesh, form, num_subdomains=args.subdomains, delta=args.delta,
         nev=args.nev, levels=args.levels, krylov=args.krylov,
         partition_method=args.partitioner, dirichlet=clamp,
-        seed=args.seed, parallel=parallel, recorder=recorder)
+        seed=args.seed, parallel=parallel, recorder=recorder,
+        faults=faults, recovery=args.recovery)
     report = solver.solve(tol=args.tol, restart=args.restart,
                           maxiter=args.maxiter)
     rows = [["problem", args.problem],
@@ -93,6 +98,25 @@ def cmd_solve(args) -> int:
             ["iterations", report.iterations],
             ["converged", report.converged],
             ["final residual", f"{report.krylov.final_residual:.3e}"]]
+    res = report.resilience
+    if res:
+        rows.append(["recovery mode", res.get("mode", "off")])
+        rows.append(["restarts", res.get("restarts", 0)])
+        faults_by_kind = res.get("faults", {})
+        rows.append(["faults injected",
+                     ", ".join(f"{k}:{v}" for k, v in
+                               sorted(faults_by_kind.items())) or "none"])
+        if res.get("degraded_subdomains"):
+            rows.append(["degraded subdomains",
+                         ", ".join(map(str, res["degraded_subdomains"]))])
+        if res.get("coarse_fallbacks"):
+            rows.append(["coarse fallbacks", res["coarse_fallbacks"]])
+        if res.get("eigensolve_fallbacks"):
+            rows.append(["eigensolve fallbacks",
+                         ", ".join(map(str,
+                                       res["eigensolve_fallbacks"]))])
+        if res.get("one_level_only"):
+            rows.append(["one-level only", True])
     for phase, secs in solver.timer.as_dict().items():
         rows.append([f"time: {phase}", f"{secs:.2f} s"])
     for phase, secs in report.krylov.profile.items():
@@ -206,6 +230,15 @@ def make_parser() -> argparse.ArgumentParser:
                     help="trace format: chrome (Perfetto-loadable "
                          "trace-event JSON) or jsonl (one event per "
                          "line)")
+    ps.add_argument("--faults", default="",
+                    help="JSON fault plan to inject during the solve "
+                         "(see docs/resilience.md)")
+    ps.add_argument("--recovery", default="off",
+                    choices=("off", "restart", "degrade"),
+                    help="recovery policy for injected/organic failures: "
+                         "off = raise typed errors, restart = "
+                         "checkpoint/rollback-restart, degrade = restart "
+                         "+ structural degradation")
     ps.set_defaults(fn=cmd_solve)
 
     pi = sub.add_parser("info", help="print problem statistics")

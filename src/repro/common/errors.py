@@ -34,8 +34,31 @@ class CommunicatorError(ReproError):
     collective participation, operations on a null communicator)."""
 
 
+class RankFailure(CommunicatorError):
+    """A (simulated) MPI rank died or was declared dead.
+
+    Raised on the failing rank by an injected *kill* fault, and on the
+    surviving ranks when the shared error box reports a peer failure —
+    so a dropped message or a dead rank surfaces as a typed error on
+    every rank instead of a deadlock.  In the sequential solver the
+    "rank" is the subdomain index whose local solve failed.
+    """
+
+    def __init__(self, message: str, *, rank: int = -1, op: str | None = None):
+        super().__init__(message)
+        self.rank = rank
+        self.op = op
+
+
 class SolverError(ReproError):
     """Direct-solver failure (singular pivot, non-SPD matrix in Cholesky)."""
+
+
+class CoarseSolveError(SolverError):
+    """The coarse solve failed beyond repair: the factorization produced
+    non-finite values and the pseudo-inverse fallback did too (or was
+    already in use).  Under ``--recovery degrade`` this triggers the
+    one-level-only degraded mode."""
 
 
 class EigenError(ReproError):
@@ -46,15 +69,58 @@ class KrylovError(ReproError):
     """Krylov-method failure (breakdown, invalid restart parameter)."""
 
 
-class ConvergenceError(KrylovError):
-    """Iterative method exhausted its iteration budget.
+class KrylovBreakdown(KrylovError):
+    """Typed Krylov breakdown detected by the numerical health monitor.
 
-    Carries the partially converged iterate and the residual history so
-    that callers (and the benchmark harness, which *expects* the
-    one-level method to stall) can still inspect the run.
+    Mirrors :class:`ConvergenceError`'s state-carrying contract: the
+    last *healthy* iterate (``x``, possibly a rolled-back checkpoint),
+    the residual history up to the failure, the iteration index and the
+    profiler summary all ride on the exception so a recovery policy can
+    roll back and restart instead of losing the whole solve.
     """
 
-    def __init__(self, message: str, x=None, residuals=None):
+    def __init__(self, message: str, x=None, residuals=None,
+                 iteration: int = -1, profile=None):
         super().__init__(message)
         self.x = x
         self.residuals = residuals if residuals is not None else []
+        self.iteration = iteration
+        self.profile = profile if profile is not None else {}
+
+
+class NonFiniteError(KrylovBreakdown):
+    """NaN/Inf detected in the residual, iterate or Krylov basis."""
+
+
+class DivergenceError(KrylovBreakdown):
+    """The residual grew past the divergence ratio over its best value."""
+
+
+class StagnationError(KrylovBreakdown):
+    """No meaningful residual decrease over the stagnation window."""
+
+
+class OrthogonalityError(KrylovBreakdown):
+    """Loss of basis orthogonality beyond the configured threshold."""
+
+
+class IndefiniteError(KrylovBreakdown):
+    """CG curvature breakdown: ``p·Ap <= 0`` (operator or preconditioner
+    not SPD, or a corrupted local solve)."""
+
+
+class ConvergenceError(KrylovError):
+    """Iterative method exhausted its iteration budget.
+
+    Carries the partially converged iterate, the residual history and
+    the profiler summary so that callers (and the benchmark harness,
+    which *expects* the one-level method to stall) can still inspect
+    the run — a budget-exhausted solve must not lose the profiling data
+    collected up to the failure.
+    """
+
+    def __init__(self, message: str, x=None, residuals=None, profile=None):
+        super().__init__(message)
+        self.x = x
+        self.residuals = residuals if residuals is not None else []
+        self.profile = profile if profile is not None else {}

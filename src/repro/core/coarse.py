@@ -18,10 +18,12 @@ over the simulated MPI with the master–slave distribution.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import scipy.sparse as sp
 
-from ..common.errors import DecompositionError
+from ..common.errors import CoarseSolveError, DecompositionError
 from ..dd.decomposition import Decomposition
 from ..parallel import ParallelConfig, parallel_map
 from ..solvers import factorize
@@ -233,12 +235,22 @@ class CoarseOperator:
             #: built
             self.AZ = assemble_az(space, T)
         self.rank_deficient = False
+        self._rank_tol = rank_tol
         with self.recorder.span("factorize_E"):
             self.factorization = self._robust_factorize(backend, rank_tol)
         self.solves = 0
         #: optional :class:`~repro.krylov.SolveProfiler` — when attached,
         #: every coarse solve is timed under its ``coarse_solve`` phase
         self.profiler = None
+        #: optional :class:`~repro.resilience.FaultInjector`; fires the
+        #: ``coarse_solve`` op on every solve output
+        self.injector = None
+        #: when True, a non-finite coarse solve triggers the fallback
+        #: chain (rebuild as pseudo-inverse, re-solve) instead of raising
+        #: :class:`~repro.common.errors.CoarseSolveError` immediately
+        self.resilient = False
+        #: number of times the pseudo-inverse fallback was taken
+        self.fallbacks = 0
 
     def _robust_factorize(self, backend: str, rank_tol: float):
         """Factorise E, falling back to a rank-revealing pseudo-inverse.
@@ -275,8 +287,45 @@ class CoarseOperator:
             self.recorder.add("coarse_solves", 1)
         if self.profiler is not None:
             with self.profiler.phase("coarse_solve"):
-                return self.factorization.solve(w)
-        return self.factorization.solve(w)
+                return self._checked_solve(w)
+        return self._checked_solve(w)
+
+    def _checked_solve(self, w: np.ndarray) -> np.ndarray:
+        y = self.factorization.solve(w)
+        if self.injector is not None:
+            y = self.injector.fire("coarse_solve", 0, y)
+        if np.all(np.isfinite(y)):
+            return y
+        # a non-finite coarse solve: a (numerically) singular E, a
+        # garbage factorization, or an injected fault
+        if not self.resilient:
+            raise CoarseSolveError(
+                "coarse solve produced non-finite values "
+                "(singular E or corrupted factorization)")
+        return self._fallback_solve(w)
+
+    def _fallback_solve(self, w: np.ndarray) -> np.ndarray:
+        """§resilience fallback chain: rebuild E's solve as a truncated
+        pseudo-inverse and retry once; a still-broken solve raises
+        :class:`~repro.common.errors.CoarseSolveError` so the solver can
+        degrade to one-level-only mode."""
+        if not isinstance(self.factorization, _PseudoInverse):
+            self.fallbacks += 1
+            self.rank_deficient = True
+            warnings.warn(
+                "coarse solve produced non-finite values; rebuilding E's "
+                "factorization as a truncated pseudo-inverse",
+                RuntimeWarning, stacklevel=3)
+            if self.recorder.enabled:
+                self.recorder.event("recovery.coarse_fallback",
+                                    attrs={"to": "pseudo_inverse"})
+            self.factorization = _PseudoInverse(self.E, self._rank_tol)
+            y = self.factorization.solve(w)
+            if np.all(np.isfinite(y)):
+                return y
+        raise CoarseSolveError(
+            "coarse solve non-finite even after the pseudo-inverse "
+            "fallback; the coarse level is unusable")
 
     def correction(self, u: np.ndarray) -> np.ndarray:
         """Z E⁻¹ Zᵀ u — the coarse correction, one coarse solve."""

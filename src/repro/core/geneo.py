@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from ..common.errors import EigenError
+from ..common.errors import EigenError, RankFailure
 from ..dd.decomposition import Subdomain
 from ..eigen import lanczos_generalized, subspace_iteration
 from ..solvers import factorize
@@ -130,6 +130,47 @@ def compute_deflation(sub: Subdomain, *, nev: int = 10,
     norms[norms < 1e-300] = 1.0
     W = W / norms
     return GeneoResult(W=W, eigenvalues=lam, nu=W.shape[1])
+
+
+def resilient_deflation(sub: Subdomain, *, nev: int = 10,
+                        tau: float | None = None,
+                        shift_rel: float = DEFAULT_SHIFT_REL,
+                        method: str = "lanczos", seed: int = 0,
+                        injector=None, recorder=None,
+                        on_fallback=None) -> GeneoResult:
+    """:func:`compute_deflation` with the recovery ladder of
+    ``docs/resilience.md``: an eigensolve failure (genuine, or injected
+    through *injector*'s ``eigensolve`` op) is retried once with a
+    perturbed seed; a second failure falls back to the
+    :func:`nicolaides_deflation` coarse vectors for this subdomain, with
+    a logged warning and a ``recovery.eigensolve_fallback`` trace event.
+    The solve stays two-level — only this subdomain's block of the
+    coarse space is degraded.
+    """
+    import warnings
+
+    last_exc: Exception | None = None
+    for attempt in range(2):
+        try:
+            if injector is not None:
+                injector.fire("eigensolve", sub.index)
+            return compute_deflation(sub, nev=nev, tau=tau,
+                                     shift_rel=shift_rel, method=method,
+                                     seed=seed + 104729 * attempt)
+        except (EigenError, RankFailure, FloatingPointError,
+                np.linalg.LinAlgError) as exc:
+            last_exc = exc
+    warnings.warn(
+        f"GenEO eigensolve failed twice on subdomain {sub.index} "
+        f"({last_exc!r}); falling back to Nicolaides vectors for this "
+        f"subdomain", RuntimeWarning, stacklevel=2)
+    if recorder is not None and recorder.enabled:
+        recorder.event("recovery.eigensolve_fallback",
+                       attrs={"subdomain": int(sub.index),
+                              "error": repr(last_exc)})
+    if on_fallback is not None:
+        on_fallback(sub.index)
+    return nicolaides_deflation(sub)
 
 
 def nicolaides_deflation(sub: Subdomain, ncomp: int = 1) -> GeneoResult:

@@ -42,6 +42,29 @@ class OneLevelRAS:
             dec.subdomains, self.parallel,
             recorder=recorder, label="factorize")
         self.applications = 0
+        #: optional :class:`~repro.resilience.FaultInjector`; fires the
+        #: ``local_solve`` op (rank = subdomain index) on every solve
+        self.injector = None
+        #: subdomain indices whose exact solve is replaced by a Jacobi
+        #: surrogate (degraded mode after a killed rank — see
+        #: docs/resilience.md)
+        self.disabled: set[int] = set()
+        self._surrogate: dict[int, np.ndarray] = {}
+
+    def disable(self, i: int) -> None:
+        """Replace subdomain *i*'s exact local solve by a Jacobi
+        (diagonal) surrogate.  Dropping the subdomain entirely would
+        make the Schwarz sum singular on its interior dofs (no other
+        subdomain covers them), so the degraded preconditioner keeps a
+        cheap nonsingular stand-in instead: convergence degrades
+        gracefully, the solve still completes."""
+        if not 0 <= i < len(self.dec.subdomains):
+            raise ValueError(f"no subdomain {i} to disable")
+        d = np.asarray(self.dec.subdomains[i].A_dir.diagonal(),
+                       dtype=np.float64).copy()
+        d[np.abs(d) < 1e-300] = 1.0
+        self._surrogate[i] = 1.0 / d
+        self.disabled.add(i)
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         """One preconditioner application on a reduced global vector.
@@ -52,9 +75,15 @@ class OneLevelRAS:
         """
         self.applications += 1
         facts, subs = self.factorizations, self.dec.subdomains
+        injector, disabled = self.injector, self.disabled
 
         def local_solve(i: int) -> np.ndarray:
-            return facts[i].solve(r[subs[i].dofs])
+            if i in disabled:
+                return self._surrogate[i] * r[subs[i].dofs]
+            sol = facts[i].solve(r[subs[i].dofs])
+            if injector is not None:
+                sol = injector.fire("local_solve", i, sol)
+            return sol
 
         sols = parallel_map(local_solve, range(len(subs)), self.parallel)
         return self._combine(sols)
@@ -76,7 +105,10 @@ class OneLevelRAS:
         facts, subs = self.factorizations, self.dec.subdomains
 
         def local_solve(i: int) -> np.ndarray:
-            sols = facts[i].solve(R[subs[i].dofs, :])
+            if i in self.disabled:
+                sols = self._surrogate[i][:, None] * R[subs[i].dofs, :]
+            else:
+                sols = facts[i].solve(R[subs[i].dofs, :])
             if self.weighted:
                 sols = subs[i].d[:, None] * sols
             return sols

@@ -21,11 +21,17 @@ True
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..common.errors import ReproError
+from ..common.errors import (
+    CoarseSolveError,
+    KrylovBreakdown,
+    RankFailure,
+    ReproError,
+)
 from ..common.timing import PhaseTimer
 from ..dd.decomposition import Decomposition
 from ..dd.problem import Problem
@@ -34,10 +40,15 @@ from ..krylov import KrylovResult, SolveProfiler, cg, gmres, p1_gmres
 from ..mesh import SimplexMesh
 from ..parallel import ParallelConfig, resolve_parallel, timed_map
 from ..partition import partition_mesh
+from ..resilience import HealthMonitor, as_injector, resolve_recovery
 from .adef import TwoLevelADEF1, TwoLevelADEF2, TwoLevelBNN
 from .coarse import CoarseOperator
 from .deflation import DeflationSpace
-from .geneo import compute_deflation, nicolaides_deflation
+from .geneo import (
+    compute_deflation,
+    nicolaides_deflation,
+    resilient_deflation,
+)
 from .ras import OneLevelASM, OneLevelRAS
 
 _KRYLOV = {"gmres": gmres, "p1-gmres": p1_gmres, "cg": cg}
@@ -53,6 +64,10 @@ class SolveReport:
     num_subdomains: int
     coarse_dim: int
     nu: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=int))
+    #: recovery bookkeeping of the solve (mode, restarts taken, faults
+    #: injected by kind, degraded subdomains, coarse/eigensolve
+    #: fallbacks) — empty when no fault plan / recovery policy was active
+    resilience: dict = field(default_factory=dict)
 
     @property
     def iterations(self) -> int:
@@ -105,6 +120,17 @@ class SchwarzSolver:
         whole run can be exported with :func:`repro.obs.write_trace`.
         ``None`` (default) uses the no-op recorder — un-instrumented
         runs pay essentially nothing.
+    faults:
+        Optional :class:`repro.resilience.FaultPlan` (or a ready
+        injector, or a JSON plan path).  Arms deterministic fault
+        injection on the setup eigensolves (``eigensolve``), the
+        one-level local solves (``local_solve``), the coarse solves
+        (``coarse_solve``) and the per-iteration Krylov tick
+        (``iteration``).
+    recovery:
+        Default :class:`repro.resilience.RecoveryPolicy` (or a mode
+        string ``"off"``/``"restart"``/``"degrade"``) used by
+        :meth:`solve`; see ``docs/resilience.md``.
     """
 
     def __init__(self, mesh: SimplexMesh, form: Form, *,
@@ -119,7 +145,7 @@ class SchwarzSolver:
                  scaling: str | None = "jacobi",
                  seed: int = 0,
                  parallel: ParallelConfig | str | None = None,
-                 recorder=None):
+                 recorder=None, faults=None, recovery=None):
         from ..obs.recorder import NULL_RECORDER
         if levels not in (1, 2):
             raise ReproError(f"levels must be 1 or 2, got {levels}")
@@ -132,6 +158,12 @@ class SchwarzSolver:
         self.recorder = NULL_RECORDER if recorder is None else recorder
         self.timer = PhaseTimer(recorder=self.recorder)
         self.parallel = resolve_parallel(parallel)
+        #: default recovery policy for :meth:`solve` (overridable per call)
+        self.recovery = resolve_recovery(recovery)
+        #: shared fault injector (a FaultPlan / plan path / injector)
+        self.injector = as_injector(faults, recorder=self.recorder)
+        #: subdomains whose GenEO eigensolve degraded to Nicolaides
+        self.eigensolve_fallbacks: list[int] = []
 
         with self.recorder.span("setup"):
             self._setup(mesh, form, num_subdomains, delta, nev, tau,
@@ -175,6 +207,16 @@ class SchwarzSolver:
                 def deflate(s):
                     if nev == 0:
                         return nicolaides_deflation(s, ncomp=ncomp)
+                    if self.recovery.active:
+                        return resilient_deflation(
+                            s, nev=nev, tau=tau, method=eigensolver,
+                            seed=seed + s.index, injector=self.injector,
+                            recorder=self.recorder,
+                            on_fallback=self.eigensolve_fallbacks.append)
+                    if self.injector is not None:
+                        # faults still fire with recovery off — they must
+                        # surface as typed errors, never be masked
+                        self.injector.fire("eigensolve", s.index)
                     return compute_deflation(s, nev=nev, tau=tau,
                                              method=eigensolver,
                                              seed=seed + s.index)
@@ -225,14 +267,25 @@ class SchwarzSolver:
     # ------------------------------------------------------------------
     def solve(self, b: np.ndarray | None = None, *, tol: float = 1e-6,
               restart: int = 40, maxiter: int = 1000,
-              callback=None) -> SolveReport:
+              callback=None, recovery=None) -> SolveReport:
         """Solve the (reduced) system with the configured Krylov method.
 
         *b* is a reduced right-hand side; ``None`` assembles the form's
-        natural load vector.
+        natural load vector.  *recovery* (a mode string or
+        :class:`~repro.resilience.RecoveryPolicy`) overrides the
+        constructor's policy for this solve; with faults armed and
+        recovery ``off``, failures surface as typed exceptions — with
+        ``restart``/``degrade`` the solve rolls back to the last healthy
+        checkpoint (and, degrading, disables the failed structure) and
+        retries, up to ``max_restarts`` times.  Recovery actions land in
+        :attr:`SolveReport.resilience` and as ``recovery.*`` trace
+        events.
         """
         if b is None:
             b = self.problem.rhs()
+        policy = self.recovery if recovery is None \
+            else resolve_recovery(recovery)
+        injector = self.injector
         method = _KRYLOV[self.krylov_name]
         # one profiler shared between the Krylov loop (matvec / apply /
         # orthogonalization) and the coarse operator (coarse_solve, a
@@ -240,15 +293,108 @@ class SchwarzSolver:
         profiler = SolveProfiler(recorder=self.recorder)
         if self.coarse is not None:
             self.coarse.profiler = profiler
-        kwargs = dict(M=self.preconditioner.apply, tol=tol, maxiter=maxiter,
+            self.coarse.injector = injector
+            self.coarse.resilient = policy.degrading
+        self.one_level.injector = injector
+        kwargs = dict(tol=tol, maxiter=maxiter,
                       callback=callback, profiler=profiler)
         if self.krylov_name in ("gmres", "p1-gmres"):
             kwargs["restart"] = restart
+
+        def make_health():
+            if injector is None and not policy.active:
+                return None
+            return HealthMonitor(
+                recorder=self.recorder, injector=injector,
+                divergence_ratio=policy.divergence_ratio,
+                stagnation_window=policy.stagnation_window,
+                checkpoint_every=policy.checkpoint_every)
+
+        resilience: dict = {}
+        if injector is not None or policy.active:
+            resilience = {
+                "mode": policy.mode, "restarts": 0,
+                "degraded_subdomains": [],
+                "eigensolve_fallbacks": list(self.eigensolve_fallbacks),
+                "coarse_fallbacks": 0, "one_level_only": False,
+                "faults": {}, "breakdowns": [],
+            }
+        health = make_health()
+        x0 = None
         with self.timer.phase("solution"):
-            res = method(self.operator, b, **kwargs)
+            while True:
+                try:
+                    res = method(self.operator, b, x0=x0,
+                                 M=self.preconditioner.apply,
+                                 health=health, **kwargs)
+                    break
+                except (KrylovBreakdown, RankFailure,
+                        CoarseSolveError) as exc:
+                    if health is not None:
+                        resilience["breakdowns"] = list(health.breakdowns)
+                    if (not policy.active
+                            or resilience["restarts"] >= policy.max_restarts):
+                        raise
+                    resilience["restarts"] += 1
+                    x0 = self._recover(exc, policy, health, resilience)
+                    health = make_health()
+        if resilience:
+            if self.coarse is not None:
+                resilience["coarse_fallbacks"] = self.coarse.fallbacks
+            if injector is not None:
+                resilience["faults"] = injector.summary()
+            if health is not None and health.breakdowns:
+                resilience["breakdowns"] = list(health.breakdowns)
         if self.recorder.enabled:
             self.recorder.gauge("iterations", res.iterations)
         return SolveReport(
             x=self.problem.extend(res.x), krylov=res, timer=self.timer,
             num_subdomains=self.decomposition.num_subdomains,
-            coarse_dim=self.coarse_dim, nu=self.nu)
+            coarse_dim=self.coarse_dim, nu=self.nu,
+            resilience=resilience)
+
+    def _recover(self, exc, policy, health, resilience):
+        """One recovery step: log the event, apply the structural
+        degradation matched to *exc* (degrade mode), and return the
+        rollback iterate for the restarted Krylov solve."""
+        reason = type(exc).__name__
+        warnings.warn(
+            f"solve interrupted by {reason} ({exc}); "
+            f"recovery={policy.mode}, restart "
+            f"{resilience['restarts']}/{policy.max_restarts}",
+            RuntimeWarning, stacklevel=3)
+        if self.recorder.enabled:
+            self.recorder.event("recovery.restart", attrs={
+                "reason": reason, "restart": resilience["restarts"],
+                "mode": policy.mode})
+        if policy.degrading:
+            if (isinstance(exc, RankFailure) and exc.rank >= 0
+                    and exc.op == "local_solve"
+                    and exc.rank not in self.one_level.disabled):
+                self.one_level.disable(exc.rank)
+                resilience["degraded_subdomains"].append(exc.rank)
+                warnings.warn(
+                    f"disabling failed subdomain {exc.rank} in the "
+                    f"one-level preconditioner (degraded mode)",
+                    RuntimeWarning, stacklevel=3)
+                if self.recorder.enabled:
+                    self.recorder.event("recovery.disable_subdomain",
+                                        attrs={"subdomain": exc.rank})
+            if isinstance(exc, CoarseSolveError) and self.coarse is not None:
+                self.preconditioner = self.one_level
+                resilience["one_level_only"] = True
+                warnings.warn(
+                    "coarse level unusable; continuing one-level only "
+                    "(expect degraded convergence)",
+                    RuntimeWarning, stacklevel=3)
+                if self.recorder.enabled:
+                    self.recorder.event("recovery.one_level_only", attrs={})
+        # rollback-restart: resume from the exception's last healthy
+        # iterate, else from the monitor's checkpoint, else from scratch
+        x0 = getattr(exc, "x", None)
+        if x0 is None and health is not None \
+                and health.checkpoint is not None:
+            x0 = health.checkpoint[1].copy()
+        if x0 is not None and not np.all(np.isfinite(x0)):
+            x0 = None
+        return x0

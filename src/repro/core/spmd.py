@@ -354,6 +354,7 @@ def spmd_gmres(rank: SpmdRank, b: np.ndarray, *, tol: float = 1e-6,
     residuals = []
     total_it = 0
     while True:
+        rank.comm.fault_point("iteration")
         r = b - rank.matvec(x)
         beta = np.sqrt(rank.dot(r, r))
         residuals.append(beta / bnorm)
@@ -368,6 +369,7 @@ def spmd_gmres(rank: SpmdRank, b: np.ndarray, *, tol: float = 1e-6,
         cs, sn = np.zeros(m), np.zeros(m)
         j_done = 0
         for j in range(m):
+            rank.comm.fault_point("iteration")
             w = rank.matvec(precond(V[:, j]))
             # one batched reduction for all j+1 dots
             hcol = rank.dots([(w, V[:, k]) for k in range(j + 1)])
@@ -433,6 +435,7 @@ def spmd_fused_p1_gmres(rank: SpmdRank, b: np.ndarray, *, tol: float = 1e-6,
     total_it = 0
     m = restart
     while True:
+        rank.comm.fault_point("iteration")
         r, _ = rank.adef1(b - rank.matvec(x))   # P⁻¹(b − Ax)
         beta = np.sqrt(rank.dot(r, r))
         residuals.append(beta / bnorm)
@@ -446,6 +449,7 @@ def spmd_fused_p1_gmres(rank: SpmdRank, b: np.ndarray, *, tol: float = 1e-6,
         finalized = 0
         batch = np.zeros(1)                     # lagged local contributions
         for i in range(m + 1):
+            rank.comm.fault_point("iteration")
             # w = P⁻¹ A z_i; the previous batch reduces inside (fused)
             w, red = rank.adef1(rank.matvec(Z[:, i]), h_local=batch)
             # land the values posted at the end of iteration i−1:
@@ -521,10 +525,16 @@ def solve_spmd(dec: Decomposition, space: DeflationSpace, b: np.ndarray, *,
                num_masters: int = 2, nonuniform: bool = False,
                method: str = "gmres", tol: float = 1e-6, restart: int = 40,
                maxiter: int = 200, two_level: bool = True,
-               meter: Meter | None = None):
+               meter: Meter | None = None, faults=None):
     """Run the full SPMD pipeline: communicator setup, algorithms 1–2,
     distributed factorization, Krylov solve.  Returns
     ``(x_reduced, iterations, residuals, meter)``.
+
+    *faults* (a :class:`repro.resilience.FaultPlan`) arms deterministic
+    fault injection on every communicator op and the per-iteration
+    ``iteration`` tick of the SPMD Krylov drivers; injected failures
+    surface as typed :class:`~repro.common.errors.RankFailure` on every
+    surviving rank (never a deadlock).
     """
     N = dec.num_subdomains
     if meter is None:
@@ -543,7 +553,7 @@ def solve_spmd(dec: Decomposition, space: DeflationSpace, b: np.ndarray, *,
                                        maxiter=maxiter)
         raise ReproError(f"unknown SPMD method {method!r}")
 
-    results = run_spmd(N, rank_main, meter=meter)
+    results = run_spmd(N, rank_main, meter=meter, faults=faults)
     x = dec.combine([res[0] for res in results])
     iterations = results[0][1]
     residuals = results[0][2]

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..common.errors import KrylovError
+from ..common.errors import IndefiniteError, KrylovError
 from ..solvers import factorize
 from .gmres import KrylovResult, _as_operator
 from .profile import SolveProfiler
@@ -24,7 +24,8 @@ from .profile import SolveProfiler
 def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
                 maxiter: int = 1000, backend: str = "dense",
                 callback=None,
-                profiler: SolveProfiler | None = None) -> KrylovResult:
+                profiler: SolveProfiler | None = None,
+                health=None) -> KrylovResult:
     """Deflated (and optionally preconditioned) CG.
 
     Parameters
@@ -41,6 +42,8 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
     prof = profiler if profiler is not None else SolveProfiler()
     A_mul = prof.wrap(_as_operator(A, n, "A"), "matvec")
     M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
+    if health is not None:
+        health.profiler = prof
     Zd = Z.toarray() if sp.issparse(Z) else np.asarray(Z, dtype=np.float64)
     if Zd.ndim != 2 or Zd.shape[0] != n:
         raise KrylovError(f"Z must be (n, m) with n={n}, got {Zd.shape}")
@@ -71,6 +74,8 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
     rz = float(r @ z)
     residuals = [float(np.linalg.norm(r)) / bnorm]
     prof.iteration(0, residuals[0])
+    if health is not None:
+        health.observe(0, residuals[0], xhat)
     it = 0
     while residuals[-1] * bnorm > target and it < maxiter:
         Ap = P(A_mul(p))
@@ -82,8 +87,12 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
             Ap = P(A_mul(p))
             pAp = float(p @ Ap)
             if pAp <= 0:
-                raise KrylovError(
-                    f"deflated CG breakdown: p·PAp = {pAp:.3e}")
+                # attach the last healthy iterate mapped back to the
+                # original solution space, so recovery can restart
+                raise IndefiniteError(
+                    f"deflated CG breakdown: p·PAp = {pAp:.3e}",
+                    x=x_coarse + Pt(xhat), residuals=list(residuals),
+                    iteration=it, profile=prof.as_dict())
         alpha = rz / pAp
         xhat += alpha * p
         r -= alpha * Ap
@@ -95,6 +104,8 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
         it += 1
         residuals.append(float(np.linalg.norm(r)) / bnorm)
         prof.iteration(it, residuals[-1])
+        if health is not None:
+            health.observe(it, residuals[-1], xhat)
         if callback is not None:
             callback(it, residuals[-1])
     x = x_coarse + Pt(xhat)

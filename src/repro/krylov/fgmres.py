@@ -24,7 +24,8 @@ from .profile import SolveProfiler
 def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
            tol: float = 1e-6, restart: int = 40, maxiter: int = 1000,
            callback=None,
-           profiler: SolveProfiler | None = None) -> KrylovResult:
+           profiler: SolveProfiler | None = None,
+           health=None) -> KrylovResult:
     """Flexible restarted GMRES; *M* may change between applications."""
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
@@ -34,6 +35,8 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     A_mul = prof.wrap(_as_operator(A, n, "A"), "matvec")
     M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    if health is not None:
+        health.profiler = prof
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
@@ -63,6 +66,8 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         syncs += 1
         residuals.append(beta / bnorm)
         prof.iteration(total_it, beta / bnorm)
+        if health is not None:
+            health.observe(total_it, beta / bnorm, x)
         if callback is not None:
             callback(total_it, beta / bnorm)
         if beta <= target or total_it >= maxiter:
@@ -85,6 +90,10 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                 syncs += 1
                 if H[j + 1, j] > 0:
                     np.divide(w, H[j + 1, j], out=V[:, j + 1])
+                    if health is not None and j > 0:
+                        health.check_vector("basis", V[:, j + 1], total_it)
+                        health.orthogonality(
+                            total_it, float(V[:, j + 1] @ V[:, 0]))
                 else:
                     prof.orthogonality_loss(total_it, float(H[j + 1, j]))
             for i in range(j):
@@ -102,6 +111,8 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             j_done = j + 1
             residuals.append(abs(g[j + 1]) / bnorm)
             prof.iteration(total_it, residuals[-1])
+            if health is not None:
+                health.observe(total_it, residuals[-1])
             if callback is not None:
                 callback(total_it, residuals[-1])
             if abs(g[j + 1]) <= target or total_it >= maxiter:

@@ -73,7 +73,8 @@ def _as_operator(op, n: int, name: str):
 def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
           tol: float = 1e-6, restart: int = 40, maxiter: int = 1000,
           callback=None, raise_on_stall: bool = False,
-          profiler: SolveProfiler | None = None) -> KrylovResult:
+          profiler: SolveProfiler | None = None,
+          health=None) -> KrylovResult:
     """Right-preconditioned restarted GMRES: solve ``A (M y) = b``,
     ``x = M y``.
 
@@ -94,6 +95,13 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     profiler:
         Per-phase timer; pass the one shared with the preconditioner to
         also capture ``coarse_solve``.  Created internally if ``None``.
+    health:
+        Optional :class:`~repro.resilience.HealthMonitor`, checked once
+        per iteration; the iterate is handed over at restart boundaries
+        (where it is cheap), so checkpoint/rollback recovery restarts
+        from the last completed cycle.  New basis vectors are scanned
+        for NaN/Inf and a cheap orthogonality defect ``|v_{j+1}·v_0|``
+        is reported.
     """
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
@@ -103,6 +111,8 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     A_mul = prof.wrap(_as_operator(A, n, "A"), "matvec")
     M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    if health is not None:
+        health.profiler = prof
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
@@ -133,6 +143,8 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         syncs += 1
         residuals.append(beta / bnorm)
         prof.iteration(total_it, beta / bnorm)
+        if health is not None:
+            health.observe(total_it, beta / bnorm, x)
         if callback is not None:
             callback(total_it, beta / bnorm)
         if beta <= target or total_it >= maxiter:
@@ -156,6 +168,10 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                 syncs += 1
                 if H[j + 1, j] > 0:
                     np.divide(w, H[j + 1, j], out=V[:, j + 1])
+                    if health is not None and j > 0:
+                        health.check_vector("basis", V[:, j + 1], total_it)
+                        health.orthogonality(
+                            total_it, float(V[:, j + 1] @ V[:, 0]))
                 else:
                     # lucky breakdown — the basis stopped growing
                     prof.orthogonality_loss(total_it, float(H[j + 1, j]))
@@ -179,6 +195,8 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             res = abs(g[j + 1])
             residuals.append(res / bnorm)
             prof.iteration(total_it, res / bnorm)
+            if health is not None:
+                health.observe(total_it, res / bnorm)
             if callback is not None:
                 callback(total_it, res / bnorm)
             if res <= target or total_it >= maxiter:
@@ -196,7 +214,8 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             if raise_on_stall:
                 raise ConvergenceError(
                     f"GMRES stalled at {residuals[-1]:.3e} after "
-                    f"{total_it} iterations", x=x, residuals=residuals)
+                    f"{total_it} iterations", x=x, residuals=residuals,
+                    profile=prof.as_dict())
             return KrylovResult(x=x, iterations=total_it,
                                 residuals=residuals, converged=False,
                                 global_syncs=syncs, profile=prof.as_dict())

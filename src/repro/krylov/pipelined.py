@@ -26,7 +26,8 @@ from .profile import SolveProfiler
 def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
              tol: float = 1e-6, restart: int = 40, maxiter: int = 1000,
              callback=None,
-             profiler: SolveProfiler | None = None) -> KrylovResult:
+             profiler: SolveProfiler | None = None,
+             health=None) -> KrylovResult:
     """Right-preconditioned pipelined GMRES(m) (p1-GMRES).
 
     Mathematically equivalent to classical GMRES in exact arithmetic; the
@@ -43,6 +44,8 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
     M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
     op = lambda v: A_mul(M_mul(v))  # noqa: E731 - local composition
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    if health is not None:
+        health.profiler = prof
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
@@ -71,6 +74,8 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         blocking_syncs += 1
         residuals.append(beta / bnorm)
         prof.iteration(total_it, beta / bnorm)
+        if health is not None:
+            health.observe(total_it, beta / bnorm, x)
         if callback is not None:
             callback(total_it, beta / bnorm)
         if beta <= target or total_it >= maxiter:
@@ -115,6 +120,8 @@ def p1_gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                 res = _lsq_residual(H, beta, finalized)
                 residuals.append(res / bnorm)
                 prof.iteration(total_it, res / bnorm)
+                if health is not None:
+                    health.observe(total_it, res / bnorm)
                 if callback is not None:
                     callback(total_it, res / bnorm)
                 if res <= target or total_it >= maxiter:

@@ -26,7 +26,8 @@ from .profile import SolveProfiler
 def s_step_gmres(A, b: np.ndarray, *, M=None, s: int = 6,
                  x0: np.ndarray | None = None, tol: float = 1e-6,
                  maxiter: int = 1000, callback=None,
-                 profiler: SolveProfiler | None = None) -> KrylovResult:
+                 profiler: SolveProfiler | None = None,
+                 health=None) -> KrylovResult:
     """Right-preconditioned s-step GMRES (restart length = s).
 
     Parameters
@@ -44,6 +45,8 @@ def s_step_gmres(A, b: np.ndarray, *, M=None, s: int = 6,
     M_mul = prof.wrap(_as_operator(M, n, "M"), "apply")
     op = lambda v: A_mul(M_mul(v))          # noqa: E731
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    if health is not None:
+        health.profiler = prof
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
@@ -66,6 +69,8 @@ def s_step_gmres(A, b: np.ndarray, *, M=None, s: int = 6,
         syncs += 1
         residuals.append(beta / bnorm)
         prof.iteration(total_it, beta / bnorm)
+        if health is not None:
+            health.observe(total_it, beta / bnorm, x)
         if callback is not None:
             callback(total_it, beta / bnorm)
         if beta <= target or total_it >= maxiter:
@@ -125,6 +130,8 @@ def s_step_gmres(A, b: np.ndarray, *, M=None, s: int = 6,
         est = float(np.linalg.norm(g[: k + 1] - H[: k + 1, :k] @ y))
         residuals.append(est / bnorm)
         prof.iteration(total_it, est / bnorm)
+        if health is not None:
+            health.observe(total_it, est / bnorm, x)
         if callback is not None:
             callback(total_it, residuals[-1])
         if total_it >= maxiter:

@@ -57,6 +57,8 @@ class RankStats:
     collective_bytes: dict[str, int] = field(default_factory=dict)
     #: number of operations that synchronise the whole communicator
     global_syncs: int = 0
+    #: injected faults observed on this rank, keyed by fault kind
+    faults: dict[str, int] = field(default_factory=dict)
 
     def record_collective(self, kind: str, nbytes: int, *, is_global_sync: bool) -> None:
         self.collectives[kind] = self.collectives.get(kind, 0) + 1
@@ -120,6 +122,18 @@ class Meter:
             if is_global_sync:
                 rec.add("mpi.global_syncs", 1)
 
+    def on_fault(self, world_rank: int, kind: str, op: str) -> None:
+        """An injected fault fired on *world_rank* (see
+        :mod:`repro.resilience.faults`)."""
+        if not 0 <= world_rank < self.world_size:
+            world_rank = 0
+        s = self._stats[world_rank]
+        with self._lock:
+            s.faults[kind] = s.faults.get(kind, 0) + 1
+        rec = self.recorder
+        if rec.enabled:
+            rec.add(f"mpi.fault.{kind}", 1)
+
     # ------------------------------------------------------------------
     def total_messages(self) -> int:
         return sum(s.sends for s in self._stats)
@@ -136,10 +150,17 @@ class Meter:
         """Max over ranks — the critical-path synchronisation count."""
         return max((s.global_syncs for s in self._stats), default=0)
 
+    def total_faults(self) -> int:
+        return sum(sum(s.faults.values()) for s in self._stats)
+
     def summary(self) -> dict:
-        return {
+        out = {
             "messages": self.total_messages(),
             "bytes": self.total_bytes(),
             "collectives": self.total_collectives(),
             "max_global_syncs": self.max_global_syncs(),
         }
+        nf = self.total_faults()
+        if nf:
+            out["faults"] = nf
+        return out

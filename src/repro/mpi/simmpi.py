@@ -25,12 +25,15 @@ from functools import reduce as _functools_reduce
 
 import numpy as np
 
-from ..common.errors import CommunicatorError
+from ..common.errors import CommunicatorError, RankFailure
 from .meter import Meter, payload_bytes
 
 #: barrier/recv timeout (seconds): a blown deadline means a deadlock bug
 _TIMEOUT = 300.0
 _POLL = 0.0005
+#: error-box poll period while blocked in recv — a peer's failure
+#: surfaces within this many seconds, not after the blocking deadline
+_ERR_POLL = 0.02
 
 
 # ----------------------------------------------------------------------
@@ -68,6 +71,15 @@ def _resolve_op(op):
 # ----------------------------------------------------------------------
 
 class _ErrorBox:
+    """First-failure box shared by all rank threads.
+
+    :meth:`set` doubles as the abort broadcast: every blocking
+    primitive (:meth:`Comm._mailbox_get`, :meth:`Comm._barrier_wait`,
+    :func:`waitany`) polls :meth:`check` while waiting, so one rank's
+    failure surfaces on every surviving rank as a typed
+    :class:`~repro.common.errors.RankFailure` instead of a deadlock.
+    """
+
     def __init__(self):
         self._lock = threading.Lock()
         self.error: tuple[int, BaseException] | None = None
@@ -80,8 +92,8 @@ class _ErrorBox:
     def check(self) -> None:
         if self.error is not None:
             rank, exc = self.error
-            raise CommunicatorError(
-                f"rank {rank} failed: {exc!r}") from exc
+            raise RankFailure(
+                f"rank {rank} failed: {exc!r}", rank=rank) from exc
 
 
 # ----------------------------------------------------------------------
@@ -151,7 +163,13 @@ def waitany(requests: list[Request]) -> tuple[int, object]:
     """
     if not requests:
         raise CommunicatorError("waitany on empty request list")
-    deadline = time.monotonic() + _TIMEOUT
+    timeout = _TIMEOUT
+    for rq in requests:
+        comm = getattr(rq, "_comm", None)
+        if comm is not None:
+            timeout = comm._ctx.timeout
+            break
+    deadline = time.monotonic() + timeout
     while True:
         for i, rq in enumerate(requests):
             done, value = rq.test()
@@ -170,12 +188,17 @@ class _Context:
     """State shared by every rank of one communicator."""
 
     def __init__(self, world_ranks: tuple[int, ...], meter: Meter,
-                 error_box: _ErrorBox, *, is_world: bool):
+                 error_box: _ErrorBox, *, is_world: bool,
+                 injector=None, timeout: float = _TIMEOUT):
         self.world_ranks = world_ranks
         self.size = len(world_ranks)
         self.meter = meter
         self.error_box = error_box
         self.is_world = is_world
+        #: optional :class:`repro.resilience.FaultInjector`
+        self.injector = injector
+        #: blocking-op deadline; tightened when a fault plan is active
+        self.timeout = timeout
         self.barrier = threading.Barrier(self.size)
         self.slots: list = [None] * self.size
         self.lock = threading.Lock()
@@ -207,6 +230,22 @@ class Comm:
             raise CommunicatorError(
                 f"{what} {r} out of range for communicator of size {self.size}")
 
+    # -- fault injection -------------------------------------------------
+    def _fault(self, op: str, payload=None):
+        """Fire the attached injector (if any) for one *op* call; may
+        raise :class:`~repro.common.errors.RankFailure`, return a
+        corrupted payload, or the DROP sentinel."""
+        inj = self._ctx.injector
+        if inj is None:
+            return payload
+        return inj.fire(op, self.world_rank, payload)
+
+    def fault_point(self, op: str) -> None:
+        """An explicit (payload-free) fault point — SPMD drivers tick
+        ``comm.fault_point("iteration")`` once per Krylov iteration so
+        *kill rank r at iteration k* plans apply."""
+        self._fault(op)
+
     # -- point-to-point --------------------------------------------------
     def _mailbox(self, src: int, dst: int, tag: int) -> queue.SimpleQueue:
         key = (src, dst, tag)
@@ -221,6 +260,11 @@ class Comm:
              _metered: bool = True) -> None:
         """Blocking (buffered) send."""
         self._check_rank(dest, "dest")
+        if self._ctx.injector is not None:
+            obj = self._fault("send", obj)
+            from ..resilience.faults import DROP
+            if obj is DROP:        # injected message loss: never delivered
+                return
         if _metered:
             self.meter.on_send(self.world_rank, payload_bytes(obj))
         self._mailbox(self.rank, dest, tag).put(obj)
@@ -232,19 +276,27 @@ class Comm:
 
     def _mailbox_get(self, source: int, tag: int, *, metered: bool = True):
         q = self._mailbox(source, self.rank, tag)
-        deadline = time.monotonic() + _TIMEOUT
+        deadline = time.monotonic() + self._ctx.timeout
         while True:
+            # honor the shared error box on every poll cycle: a peer's
+            # failure surfaces within _ERR_POLL seconds even while this
+            # rank is blocked waiting for a message that will never come
             self._ctx.error_box.check()
             try:
-                obj = q.get(timeout=0.05)
-                if metered:
-                    self.meter.on_recv(self.world_rank, payload_bytes(obj))
-                return obj
+                obj = q.get(timeout=_ERR_POLL)
             except queue.Empty:
-                if time.monotonic() > deadline:  # pragma: no cover
-                    raise CommunicatorError(
+                if time.monotonic() > deadline:
+                    raise RankFailure(
                         f"recv(source={source}, tag={tag}) timed out on rank "
-                        f"{self.rank} (deadlock?)") from None
+                        f"{self.rank} after {self._ctx.timeout:.1f}s "
+                        f"(dropped message or dead peer?)",
+                        rank=source, op="recv") from None
+                continue
+            if self._ctx.injector is not None:
+                obj = self._fault("recv", obj)
+            if metered:
+                self.meter.on_recv(self.world_rank, payload_bytes(obj))
+            return obj
 
     def _mailbox_poll(self, source: int, tag: int, *, metered: bool = True):
         self._ctx.error_box.check()
@@ -253,6 +305,8 @@ class Comm:
             obj = q.get_nowait()
         except queue.Empty:
             return False, None
+        if self._ctx.injector is not None:
+            obj = self._fault("recv", obj)
         if metered:
             self.meter.on_recv(self.world_rank, payload_bytes(obj))
         return True, obj
@@ -271,15 +325,19 @@ class Comm:
     def _barrier_wait(self) -> None:
         self._ctx.error_box.check()
         try:
-            self._ctx.barrier.wait(timeout=_TIMEOUT)
-        except threading.BrokenBarrierError:  # pragma: no cover
+            self._ctx.barrier.wait(timeout=self._ctx.timeout)
+        except threading.BrokenBarrierError:
+            # the abort broadcast: a failed rank aborts the barrier so
+            # survivors wake immediately and raise the typed failure
             self._ctx.error_box.check()
-            raise CommunicatorError("barrier broken (a rank died?)") from None
+            raise RankFailure("barrier broken (a rank died?)") from None
 
-    def _exchange(self, value):
+    def _exchange(self, value, op: str = "exchange"):
         """All ranks deposit *value*; returns the full slot list (shared,
         read-only by convention).  Two barriers protect slot reuse."""
         ctx = self._ctx
+        if ctx.injector is not None:
+            value = self._fault(op, value)
         ctx.slots[self.rank] = value
         self._barrier_wait()
         snapshot = list(ctx.slots)
@@ -292,19 +350,20 @@ class Comm:
 
     def barrier(self) -> None:
         self._record("barrier", 0)
+        self._fault("barrier")
         self._barrier_wait()
 
     def bcast(self, obj, root: int = 0):
         self._check_rank(root, "root")
         self._record("bcast", payload_bytes(obj) if self.rank == root else 0)
-        slots = self._exchange(obj if self.rank == root else None)
+        slots = self._exchange(obj if self.rank == root else None, "bcast")
         return slots[root]
 
     def gather(self, obj, root: int = 0, *, kind: str = "gather"):
         """Gather objects to *root*; returns the list on root, None elsewhere."""
         self._check_rank(root, "root")
         self._record(kind, payload_bytes(obj))
-        slots = self._exchange(obj)
+        slots = self._exchange(obj, kind)
         return slots if self.rank == root else None
 
     def gatherv(self, obj, root: int = 0):
@@ -320,7 +379,7 @@ class Comm:
             self._record(kind, payload_bytes(objs))
         else:
             self._record(kind, 0)
-        slots = self._exchange(objs if self.rank == root else None)
+        slots = self._exchange(objs if self.rank == root else None, kind)
         return slots[root][self.rank]
 
     def scatterv(self, objs, root: int = 0):
@@ -328,16 +387,16 @@ class Comm:
 
     def allgather(self, obj):
         self._record("allgather", payload_bytes(obj))
-        return self._exchange(obj)
+        return self._exchange(obj, "allgather")
 
     def allgatherv(self, obj):
         self._record("allgatherv", payload_bytes(obj))
-        return self._exchange(obj)
+        return self._exchange(obj, "allgatherv")
 
     def allreduce(self, obj, op="sum"):
         fn = _resolve_op(op)
         self._record("allreduce", payload_bytes(obj))
-        slots = self._exchange(obj)
+        slots = self._exchange(obj, "allreduce")
         return _functools_reduce(fn, slots)
 
     def iallreduce(self, obj, op="sum") -> Request:
@@ -350,21 +409,21 @@ class Comm:
         """
         fn = _resolve_op(op)
         self._record("iallreduce", payload_bytes(obj))
-        slots = self._exchange(obj)
+        slots = self._exchange(obj, "iallreduce")
         return _DoneRequest(_functools_reduce(fn, slots))
 
     def reduce(self, obj, root: int = 0, op="sum"):
         fn = _resolve_op(op)
         self._check_rank(root, "root")
         self._record("reduce", payload_bytes(obj))
-        slots = self._exchange(obj)
+        slots = self._exchange(obj, "reduce")
         return _functools_reduce(fn, slots) if self.rank == root else None
 
     def alltoall(self, objs):
         if objs is None or len(objs) != self.size:
             raise CommunicatorError(f"alltoall needs {self.size} items")
         self._record("alltoall", payload_bytes(objs))
-        slots = self._exchange(objs)
+        slots = self._exchange(objs, "alltoall")
         return [slots[src][self.rank] for src in range(self.size)]
 
     # -- communicator management ----------------------------------------
@@ -376,7 +435,7 @@ class Comm:
         if key is None:
             key = self.rank
         self._record("split", 0)
-        infos = self._exchange((color, key, self.rank))
+        infos = self._exchange((color, key, self.rank), "split")
         if color is None:
             return None
         members = sorted((k, r) for c, k, r in infos if c == color)
@@ -389,7 +448,8 @@ class Comm:
             if sub is None:
                 sub = _Context(
                     tuple(ctx.world_ranks[r] for r in ranks),
-                    ctx.meter, ctx.error_box, is_world=False)
+                    ctx.meter, ctx.error_box, is_world=False,
+                    injector=ctx.injector, timeout=ctx.timeout)
                 ctx.split_cache[cache_key] = sub
         return Comm(sub, new_rank)
 
@@ -451,7 +511,7 @@ class NeighborComm:
 # ----------------------------------------------------------------------
 
 def run_spmd(nranks: int, fn, *args, meter: Meter | None = None,
-             recorder=None, **kwargs) -> list:
+             recorder=None, faults=None, **kwargs) -> list:
     """Run ``fn(comm, *args, **kwargs)`` on *nranks* simulated ranks.
 
     Each rank executes in its own thread against a shared world
@@ -464,6 +524,14 @@ def run_spmd(nranks: int, fn, *args, meter: Meter | None = None,
     traffic counters, and a per-rank :class:`~repro.mpi.trace.Tracer` is
     attached (unless the caller already set one) so rank spans land on
     the shared timeline as ``rank{r}`` tracks.
+
+    Passing a :class:`repro.resilience.FaultPlan` (or a ready
+    :class:`~repro.resilience.FaultInjector`) as *faults* arms
+    deterministic fault injection on every communicator operation, and
+    tightens the blocking-op deadline to ``plan.timeout`` so injected
+    failures surface as typed
+    :class:`~repro.common.errors.RankFailure` errors instead of
+    deadlocks.
     """
     if nranks < 1:
         raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
@@ -474,8 +542,15 @@ def run_spmd(nranks: int, fn, *args, meter: Meter | None = None,
     if recorder is not None and recorder.enabled and meter.tracer is None:
         from .trace import Tracer
         meter.tracer = Tracer(nranks, recorder=recorder)
+    injector = None
+    timeout = _TIMEOUT
+    if faults is not None:
+        from ..resilience.faults import as_injector
+        injector = as_injector(faults, meter=meter, recorder=recorder)
+        timeout = injector.timeout
     error_box = _ErrorBox()
-    ctx = _Context(tuple(range(nranks)), meter, error_box, is_world=True)
+    ctx = _Context(tuple(range(nranks)), meter, error_box, is_world=True,
+                   injector=injector, timeout=timeout)
     results: list = [None] * nranks
 
     def worker(rank: int):

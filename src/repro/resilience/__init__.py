@@ -1,0 +1,26 @@
+"""Resilience subsystem: fault injection, health monitoring, recovery.
+
+The production-hardening layer the paper's robustness claims assume:
+inject faults deterministically (:class:`FaultPlan`,
+:class:`FaultInjector`), detect them cheaply once per Krylov iteration
+(:class:`HealthMonitor`), and recover visibly
+(:class:`RecoveryPolicy` — checkpoint/rollback-restart, coarse-solve
+fallback chain, per-subdomain GenEO → Nicolaides degradation).  See
+``docs/resilience.md``.
+"""
+
+from .faults import DROP, FaultInjector, FaultPlan, FaultSpec, as_injector
+from .health import HealthMonitor
+from .recovery import MODES, RecoveryPolicy, resolve_recovery
+
+__all__ = [
+    "DROP",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "as_injector",
+    "HealthMonitor",
+    "MODES",
+    "RecoveryPolicy",
+    "resolve_recovery",
+]

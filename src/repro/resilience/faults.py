@@ -1,0 +1,294 @@
+"""Deterministic fault injection for the simulated MPI layer and the
+sequential solver stack.
+
+A :class:`FaultPlan` is a declarative, seeded list of :class:`FaultSpec`
+entries — *drop/delay/corrupt a message on (rank, op, nth call)*, *kill
+rank r on its k-th iteration*, *poison a local solve with NaN* — loaded
+from JSON (``repro solve --faults plan.json``) or built in code.  A
+:class:`FaultInjector` consumes the plan at runtime: every instrumented
+call site (``Comm.send/recv``/collectives, the one-level local solves,
+the coarse solve, the GenEO eigensolves, the Krylov iteration tick)
+calls :meth:`FaultInjector.fire` with its operation name; when a spec's
+per-(rank, op) call counter reaches ``nth`` the fault triggers.
+
+Determinism: the corruption values are drawn from per-spec RNGs seeded
+by ``plan.seed`` and the spec's position, and the counters depend only
+on the call sequence — replaying the same plan against the same program
+reproduces the same faults bit for bit (asserted in
+``tests/test_resilience.py``).
+
+Fault kinds
+-----------
+``drop``
+    Message is silently not delivered (``send`` only).  The peer's
+    blocking receive times out after ``plan.timeout`` seconds and
+    raises :class:`~repro.common.errors.RankFailure` instead of
+    hanging.
+``delay``
+    Sleep ``spec.delay`` seconds before the operation completes.
+``corrupt``
+    Multiply one seeded-random entry of the float payload by
+    ``spec.scale`` (default 1e6).
+``nan``
+    Overwrite one seeded-random entry of the float payload with NaN
+    (the *poisoned local solve* of the issue).
+``kill``
+    Raise :class:`~repro.common.errors.RankFailure` at the call site.
+    Non-persistent kills (the default) fire exactly once — a restarted
+    solve proceeds past them; ``persistent: true`` keeps firing, which
+    defeats restart and forces degraded-mode recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import RankFailure, ReproError
+
+#: sentinel returned by :meth:`FaultInjector.fire` for a dropped message
+DROP = object()
+
+_KINDS = ("drop", "delay", "corrupt", "nan", "kill")
+
+#: operations that accept each kind (None = any op)
+_KIND_OPS: dict[str, tuple[str, ...] | None] = {
+    "drop": ("send",),
+    "delay": None,
+    "corrupt": None,
+    "nan": None,
+    "kill": None,
+}
+
+
+@dataclass
+class FaultSpec:
+    """One declarative fault: *kind* on (*rank*, *op*, *nth* call).
+
+    ``rank=None`` matches any rank; ``op`` names the instrumented call
+    site (``send``, ``recv``, ``bcast``, ``allreduce``, ``barrier``,
+    ``local_solve``, ``coarse_solve``, ``eigensolve``, ``iteration``,
+    …).  The spec arms on the ``nth`` matching call (0-based, counted
+    per matching rank) and, unless ``persistent``, fires exactly once.
+    """
+
+    kind: str
+    op: str
+    rank: int | None = None
+    nth: int = 0
+    delay: float = 0.0
+    scale: float = 1e6
+    persistent: bool = False
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}")
+        allowed = _KIND_OPS[self.kind]
+        if allowed is not None and self.op not in allowed:
+            raise ReproError(
+                f"fault kind {self.kind!r} only applies to ops {allowed}, "
+                f"got {self.op!r}")
+        if self.nth < 0:
+            raise ReproError(f"nth must be >= 0, got {self.nth}")
+
+    def matches(self, op: str, rank: int) -> bool:
+        return self.op == op and (self.rank is None or self.rank == rank)
+
+    def to_dict(self) -> dict:
+        d = {"kind": self.kind, "op": self.op, "nth": self.nth}
+        if self.rank is not None:
+            d["rank"] = self.rank
+        if self.kind == "delay":
+            d["delay"] = self.delay
+        if self.kind == "corrupt":
+            d["scale"] = self.scale
+        if self.persistent:
+            d["persistent"] = True
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        known = {"kind", "op", "rank", "nth", "delay", "scale", "persistent"}
+        extra = set(d) - known
+        if extra:
+            raise ReproError(f"unknown fault-spec fields {sorted(extra)}")
+        return cls(**d)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded list of fault specs plus the failure-detection timeout.
+
+    ``timeout`` bounds every blocking receive/barrier while the plan is
+    active — a dropped message surfaces as a typed
+    :class:`~repro.common.errors.RankFailure` after at most this many
+    seconds instead of the library-wide deadlock deadline.
+    """
+
+    faults: list[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+    timeout: float = 30.0
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed, "timeout": self.timeout,
+            "faults": [f.to_dict() for f in self.faults]}, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        d = json.loads(text)
+        if not isinstance(d, dict) or "faults" not in d:
+            raise ReproError(
+                "fault plan must be a JSON object with a 'faults' list")
+        return cls(faults=[FaultSpec.from_dict(f) for f in d["faults"]],
+                   seed=int(d.get("seed", 0)),
+                   timeout=float(d.get("timeout", 30.0)))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+
+class FaultInjector:
+    """Runtime fault dispatcher: thread-safe, seeded, replayable.
+
+    One injector may be shared by every instrumented layer of a run
+    (the simulated MPI context, the one-level preconditioner, the
+    coarse operator, the health monitor); its per-spec call counters
+    and RNGs make the fault sequence a pure function of the call
+    sequence.
+    """
+
+    def __init__(self, plan: FaultPlan, *, meter=None, recorder=None):
+        from ..obs.recorder import NULL_RECORDER
+        self.plan = plan
+        self.meter = meter
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        self._lock = threading.Lock()
+        #: (spec index, rank) -> matching-call count
+        self._counts: dict[tuple[int, int], int] = {}
+        #: spec indices already fired (non-persistent specs fire once)
+        self._fired: set[int] = set()
+        self._rngs = [np.random.default_rng(plan.seed + 7919 * (i + 1))
+                      for i in range(len(plan.faults))]
+        #: total faults triggered, by kind
+        self.injected: dict[str, int] = {}
+
+    @property
+    def timeout(self) -> float:
+        return self.plan.timeout
+
+    def reset(self) -> None:
+        """Forget all counters/fired state — an exact replay follows."""
+        with self._lock:
+            self._counts.clear()
+            self._fired.clear()
+            self._rngs = [np.random.default_rng(self.plan.seed
+                                                + 7919 * (i + 1))
+                          for i in range(len(self.plan.faults))]
+            self.injected.clear()
+
+    # ------------------------------------------------------------------
+    def _arm(self, op: str, rank: int):
+        """Advance counters; return the (index, spec) that fires now."""
+        hit = None
+        with self._lock:
+            for i, spec in enumerate(self.plan.faults):
+                if not spec.matches(op, rank):
+                    continue
+                key = (i, rank)
+                n = self._counts.get(key, 0)
+                self._counts[key] = n + 1
+                if hit is not None:
+                    continue               # one fault per call site
+                if i in self._fired and not spec.persistent:
+                    continue
+                if n == spec.nth or (spec.persistent and n >= spec.nth):
+                    self._fired.add(i)
+                    hit = (i, spec)
+            if hit is not None:
+                kind = hit[1].kind
+                self.injected[kind] = self.injected.get(kind, 0) + 1
+        return hit
+
+    def _record(self, spec: FaultSpec, rank: int) -> None:
+        if self.recorder.enabled:
+            self.recorder.add(f"fault.injected.{spec.kind}", 1)
+            self.recorder.event("fault", attrs={
+                "kind": spec.kind, "op": spec.op, "rank": int(rank)})
+        if self.meter is not None:
+            self.meter.on_fault(rank, spec.kind, spec.op)
+
+    def fire(self, op: str, rank: int = 0, payload=None):
+        """Count one call of *op* on *rank*; apply a triggered fault.
+
+        Returns the (possibly corrupted) payload, :data:`DROP` for a
+        dropped message, or raises
+        :class:`~repro.common.errors.RankFailure` for a kill.
+        """
+        hit = self._arm(op, rank)
+        if hit is None:
+            return payload
+        i, spec = hit
+        self._record(spec, rank)
+        if spec.kind == "kill":
+            raise RankFailure(
+                f"injected fault: rank {rank} killed at {op} call "
+                f"{spec.nth}", rank=rank, op=op)
+        if spec.kind == "delay":
+            time.sleep(spec.delay)
+            return payload
+        if spec.kind == "drop":
+            return DROP
+        # corrupt / nan need a float payload to poison
+        return self._poison(payload, spec, self._rngs[i])
+
+    def _poison(self, payload, spec: FaultSpec, rng):
+        arr = None
+        if isinstance(payload, np.ndarray) and payload.dtype.kind == "f":
+            arr = payload.copy()
+        elif isinstance(payload, float):
+            arr = np.array([payload])
+        if arr is None or arr.size == 0:
+            return payload             # nothing poisonable: no-op
+        idx = int(rng.integers(arr.size))
+        if spec.kind == "nan":
+            arr.flat[idx] = np.nan
+        else:
+            arr.flat[idx] *= spec.scale * (1.0 + rng.random())
+        if isinstance(payload, float):
+            return float(arr[0])
+        return arr
+
+    def total_injected(self) -> int:
+        with self._lock:
+            return sum(self.injected.values())
+
+    def summary(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.injected)
+
+
+def as_injector(faults, *, meter=None, recorder=None) -> FaultInjector | None:
+    """Coerce None / FaultPlan / FaultInjector / a JSON path into an
+    injector (None stays None)."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultPlan):
+        return FaultInjector(faults, meter=meter, recorder=recorder)
+    if isinstance(faults, str):
+        return FaultInjector(FaultPlan.load(faults), meter=meter,
+                             recorder=recorder)
+    raise ReproError(f"cannot build a FaultInjector from {type(faults)!r}")

@@ -1,0 +1,96 @@
+"""Graceful-degradation recovery policies for the two-level solver.
+
+A :class:`RecoveryPolicy` configures what
+:meth:`repro.SchwarzSolver.solve` does when a typed failure — a
+:class:`~repro.common.errors.KrylovBreakdown` from the health monitor,
+a :class:`~repro.common.errors.RankFailure` from a killed rank, a
+:class:`~repro.common.errors.CoarseSolveError` from an unrecoverable
+coarse factorization — interrupts the Krylov loop:
+
+``off``
+    Re-raise.  The failure surfaces as a typed exception, never as a
+    hang or a silent NaN result.
+``restart``
+    Checkpoint/rollback-restart: resume the Krylov method from the
+    last healthy iterate (the exception's rolled-back ``x``), up to
+    ``max_restarts`` times.  One-shot faults (a transient NaN, a
+    non-persistent kill) are survived exactly; persistent faults
+    exhaust the budget and re-raise.
+``degrade``
+    Everything ``restart`` does, plus structural degradation matched to
+    the failure: a killed subdomain is disabled in the one-level sum, a
+    dead coarse solve falls back factorization → pseudo-inverse →
+    one-level-only mode, and (at setup) a failed GenEO eigensolve is
+    retried once then replaced by the Nicolaides coarse space for that
+    subdomain.  Degradations are logged with ``warnings.warn`` and
+    recorded as ``recovery.*`` events in the telemetry trace.
+
+The policy object itself is a small value type; the recovery loop
+lives in :meth:`SchwarzSolver.solve` and the per-layer fallbacks next
+to the structures they repair (``CoarseOperator``, ``OneLevelRAS``,
+:func:`repro.core.geneo.resilient_deflation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ReproError
+
+MODES = ("off", "restart", "degrade")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the solver reacts to typed failures (see module docstring).
+
+    Parameters
+    ----------
+    mode:
+        ``"off"`` | ``"restart"`` | ``"degrade"``.
+    max_restarts:
+        Rollback-restart budget per solve; once exhausted the failure
+        re-raises.
+    checkpoint_every:
+        Iterate-snapshot period handed to the
+        :class:`~repro.resilience.health.HealthMonitor`.
+    stagnation_window:
+        Health-monitor stagnation window (0 disables; breakdown-only
+        faults are detected regardless).
+    divergence_ratio:
+        Health-monitor divergence threshold.
+    """
+
+    mode: str = "off"
+    max_restarts: int = 3
+    checkpoint_every: int = 10
+    stagnation_window: int = 0
+    divergence_ratio: float = 1e4
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ReproError(
+                f"unknown recovery mode {self.mode!r}; expected one of "
+                f"{MODES}")
+        if self.max_restarts < 0:
+            raise ReproError(
+                f"max_restarts must be >= 0, got {self.max_restarts}")
+
+    @property
+    def active(self) -> bool:
+        return self.mode != "off"
+
+    @property
+    def degrading(self) -> bool:
+        return self.mode == "degrade"
+
+
+def resolve_recovery(policy) -> RecoveryPolicy:
+    """Coerce None / a mode string / a policy into a RecoveryPolicy."""
+    if policy is None:
+        return RecoveryPolicy()
+    if isinstance(policy, RecoveryPolicy):
+        return policy
+    if isinstance(policy, str):
+        return RecoveryPolicy(mode=policy)
+    raise ReproError(f"cannot build a RecoveryPolicy from {type(policy)!r}")
