@@ -7,6 +7,7 @@ subpackages ``mesh``, ``fem``, ``partition``, ``dd``, ``core``,
 ``krylov``, ``solvers``, ``eigen``, ``mpi``, ``perfmodel``.
 """
 
+from .batch import BatchReport, SolveSession
 from .core.solver import SchwarzSolver, SolveReport
 from .parallel import ParallelConfig
 from .resilience import (
@@ -21,6 +22,8 @@ __version__ = "1.0.0"
 __all__ = [
     "SchwarzSolver",
     "SolveReport",
+    "SolveSession",
+    "BatchReport",
     "ParallelConfig",
     "FaultInjector",
     "FaultPlan",

@@ -1,0 +1,102 @@
+"""Subspace recycling between successive solves (GCRO-DR style).
+
+Sequential right-hand sides (time steps, nonlinear iterations, porous-
+media load cases) see the *same* preconditioned operator, so the slow
+modes that dominated one solve dominate the next.  GCRO-DR (Parks et
+al., see PAPERS.md) harvests approximations of those modes — harmonic
+Ritz vectors of the final Arnoldi cycle — and deflates them from the
+next solve.  Here the harvest feeds the repo's native deflation
+machinery instead of an augmented-Krylov driver: the Ritz vectors are
+split across subdomains through the partition of unity
+(``W_i = D_i R_i v``, the a-posteriori construction of
+:mod:`repro.core.ritz`) and the resulting :class:`DeflationSpace` /
+:class:`CoarseOperator` pair drops into any of the two-level
+preconditioners.  Since ``Σ R_iᵀ D_i R_i = I`` the deflation space
+*contains* the harvested vectors exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ReproError
+from ..core.deflation import DeflationSpace
+from ..core.ritz import harmonic_ritz_pairs
+from ..dd.decomposition import Decomposition
+
+
+def harvest_ritz_vectors(basis: tuple, M_apply, m: int) -> np.ndarray | None:
+    """Harmonic Ritz vectors of ``A M`` from a GMRES cycle's Arnoldi data.
+
+    Parameters
+    ----------
+    basis:
+        ``(V, H̄)`` as attached to :attr:`KrylovResult.basis` by a
+        driver called with ``keep_basis=True`` — V of shape (n, k+1),
+        the untransformed Hessenberg of shape (k+1, k).
+    M_apply:
+        The right preconditioner of the solve that produced the basis.
+        The Ritz vectors live in the preconditioned variable ``y``
+        (``x = M y``); applying M maps them back to solution space so
+        the deflation targets A itself.
+    m:
+        Number of vectors to keep (the smallest harmonic Ritz values —
+        the stalling modes).
+
+    Returns ``None`` when the cycle is too short (k < 2) or the small
+    eigenproblem fails — recycling is an optimization, never an error.
+    """
+    if basis is None:
+        return None
+    V, Hbar = basis
+    k = Hbar.shape[1]
+    if k < 2 or m < 1:
+        return None
+    try:
+        theta, Y = harmonic_ritz_pairs(Hbar)
+    except ReproError:
+        return None
+    m = min(m, k)
+    # combine complex-conjugate pairs into real vectors
+    vecs: list[np.ndarray] = []
+    i = 0
+    while len(vecs) < m and i < k:
+        y = Y[:, i]
+        if np.abs(y.imag).max() > 1e-12:
+            vecs.append(np.real(y))
+            if len(vecs) < m:
+                vecs.append(np.imag(y))
+            i += 2
+        else:
+            vecs.append(np.real(y))
+            i += 1
+    Yr = np.column_stack(vecs[:m])
+    ritz = V[:, :k] @ Yr
+    ritz = np.column_stack([M_apply(ritz[:, j])
+                            for j in range(ritz.shape[1])])
+    if not np.all(np.isfinite(ritz)):
+        return None
+    # orthonormalise for the conditioning of the augmented E
+    Q, R = np.linalg.qr(ritz)
+    # drop numerically dependent directions
+    keep = np.abs(np.diag(R)) > 1e-12 * max(np.abs(np.diag(R)).max(), 1e-300)
+    Q = Q[:, keep]
+    return Q if Q.shape[1] else None
+
+
+def recycled_deflation(dec: Decomposition, U: np.ndarray,
+                       base: DeflationSpace | None = None) -> DeflationSpace:
+    """Deflation space containing the recycle block *U* (n, r).
+
+    Each global vector is split with the partition of unity
+    (``W_i = D_i R_i u``) and appended to *base*'s per-subdomain blocks
+    when given — the GenEO space augmented by the harvested modes.  The
+    coarse operator built on top handles any (near-)linear dependence
+    between GenEO and Ritz directions through its rank-revealing
+    pseudo-inverse fallback.
+    """
+    W_recycle = [s.d[:, None] * U[s.dofs] for s in dec.subdomains]
+    if base is None:
+        return DeflationSpace(dec, W_recycle)
+    blocks = [np.hstack([Wb, Wr]) for Wb, Wr in zip(base.W, W_recycle)]
+    return DeflationSpace(dec, blocks)

@@ -83,12 +83,17 @@ def cmd_solve(args) -> int:
     if args.faults:
         from .resilience import FaultPlan
         faults = FaultPlan.load(args.faults)
-    solver = SchwarzSolver(
-        mesh, form, num_subdomains=args.subdomains, delta=args.delta,
-        nev=args.nev, levels=args.levels, krylov=args.krylov,
-        partition_method=args.partitioner, dirichlet=clamp,
-        seed=args.seed, parallel=parallel, recorder=recorder,
-        faults=faults, recovery=args.recovery)
+    try:
+        solver = SchwarzSolver(
+            mesh, form, num_subdomains=args.subdomains, delta=args.delta,
+            nev=args.nev, levels=args.levels, krylov=args.krylov,
+            partition_method=args.partitioner, dirichlet=clamp,
+            seed=args.seed, parallel=parallel, recorder=recorder,
+            faults=faults, recovery=args.recovery)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.rhs_batch > 1 or args.recycle:
+        return _solve_batched(args, solver, recorder)
     report = solver.solve(tol=args.tol, restart=args.restart,
                           maxiter=args.maxiter)
     rows = [["problem", args.problem],
@@ -145,6 +150,64 @@ def cmd_solve(args) -> int:
               f"{args.telemetry}; view with `repro trace "
               f"{args.telemetry}` or load the chrome format in "
               f"ui.perfetto.dev")
+    return 0 if report.converged else 1
+
+
+def _solve_batched(args, solver, recorder) -> int:
+    """The ``--rhs-batch`` / ``--recycle`` paths: one SolveSession."""
+    session = solver.session()
+    b = solver.problem.rhs()
+    k = max(1, args.rhs_batch)
+    rng = np.random.default_rng(args.seed)
+    if k > 1:
+        # the assembled load plus perturbed companions — the shape of a
+        # multi-load-case / time-stepping workload
+        B = np.column_stack(
+            [b] + [b + 0.1 * np.linalg.norm(b)
+                   * rng.standard_normal(b.shape[0])
+                   for _ in range(k - 1)])
+    else:
+        B = b[:, None]
+    rows = [["problem", args.problem],
+            ["dofs", solver.problem.space.num_dofs],
+            ["subdomains", args.subdomains],
+            ["coarse dim", solver.coarse_dim],
+            ["rhs batch", k]]
+    if args.recycle:
+        # sequential recycled solves: each harvests Ritz vectors that
+        # deflate the next (two passes of b when K == 1, to show the
+        # recycling effect on a repeated load)
+        cols = list(range(B.shape[1])) if k > 1 else [0, 0]
+        iters = []
+        ok = True
+        for j in cols:
+            rep = session.solve(B[:, j], tol=args.tol,
+                                restart=args.restart,
+                                maxiter=args.maxiter)
+            iters.append(rep.iterations)
+            ok = ok and rep.converged
+        rows += [["mode", "recycled sequential"],
+                 ["iterations per solve",
+                  ", ".join(map(str, iters))],
+                 ["recycled coarse dim", session.coarse_dim],
+                 ["converged", ok]]
+        print(table(["quantity", "value"], rows,
+                    title="repro batched solve report"))
+        return 0 if ok else 1
+    report = session.solve_many(B, tol=args.tol, restart=args.restart,
+                                maxiter=args.maxiter)
+    rows += [["mode", f"block ({report.driver})"],
+             ["block iterations", report.iterations],
+             ["column iterations",
+              ", ".join(map(str, report.column_iterations))],
+             ["converged", report.converged]]
+    print(table(["quantity", "value"], rows,
+                title="repro batched solve report"))
+    if recorder is not None:
+        from .obs import write_trace
+        write_trace(recorder, args.telemetry, format=args.telemetry_format)
+        print(f"\ntelemetry ({args.telemetry_format}) written to "
+              f"{args.telemetry}")
     return 0 if report.converged else 1
 
 
@@ -208,7 +271,8 @@ def make_parser() -> argparse.ArgumentParser:
                     help="GenEO vectors per subdomain (0 = Nicolaides)")
     ps.add_argument("--levels", type=int, default=2, choices=(1, 2))
     ps.add_argument("--krylov", default="gmres",
-                    choices=("gmres", "p1-gmres", "cg"))
+                    choices=("gmres", "p1-gmres", "cg", "fgmres",
+                             "sstep", "deflated-cg"))
     ps.add_argument("--tol", type=float, default=1e-6)
     ps.add_argument("--restart", type=int, default=40)
     ps.add_argument("--maxiter", type=int, default=400)
@@ -239,6 +303,14 @@ def make_parser() -> argparse.ArgumentParser:
                          "off = raise typed errors, restart = "
                          "checkpoint/rollback-restart, degrade = restart "
                          "+ structural degradation")
+    ps.add_argument("--rhs-batch", type=int, default=1, metavar="K",
+                    help="solve K right-hand sides through one "
+                         "SolveSession (K > 1: block Krylov, or "
+                         "sequential recycled solves with --recycle)")
+    ps.add_argument("--recycle", action="store_true",
+                    help="recycle harmonic Ritz vectors between "
+                         "successive solves (GCRO-DR-style deflation "
+                         "augmentation)")
     ps.set_defaults(fn=cmd_solve)
 
     pi = sub.add_parser("info", help="print problem statistics")

@@ -87,6 +87,24 @@ class DeflationSpace:
         return self.Z @ y
 
     # ------------------------------------------------------------------
+    # Multi-RHS (column-block) forms — one csrmm instead of k csrmvs
+    # ------------------------------------------------------------------
+    def zt_dot_block(self, U: np.ndarray) -> np.ndarray:
+        """W = Zᵀ U for a column block ``U (n_free, k)`` — one csrmm."""
+        if U.ndim != 2:
+            raise DecompositionError(
+                f"zt_dot_block expects a column block, got ndim={U.ndim}")
+        return self.Zt @ U
+
+    def z_dot_block(self, Y: np.ndarray) -> np.ndarray:
+        """Z Y for a coarse column block ``Y (m, k)`` — one csrmm."""
+        if Y.ndim != 2 or Y.shape[0] != self.m:
+            raise DecompositionError(
+                f"coarse block must have shape ({self.m}, k), "
+                f"got {Y.shape}")
+        return self.Z @ Y
+
+    # ------------------------------------------------------------------
     # Per-block (distributed) forms — the SPMD semantics and the
     # reference path of the solve-phase perf tests
     # ------------------------------------------------------------------

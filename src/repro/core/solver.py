@@ -36,7 +36,16 @@ from ..common.timing import PhaseTimer
 from ..dd.decomposition import Decomposition
 from ..dd.problem import Problem
 from ..fem.forms import Form
-from ..krylov import KrylovResult, SolveProfiler, cg, gmres, p1_gmres
+from ..krylov import (
+    KrylovResult,
+    SolveProfiler,
+    cg,
+    deflated_cg,
+    fgmres,
+    gmres,
+    p1_gmres,
+    s_step_gmres,
+)
 from ..mesh import SimplexMesh
 from ..parallel import ParallelConfig, resolve_parallel, timed_map
 from ..partition import partition_mesh
@@ -51,7 +60,16 @@ from .geneo import (
 )
 from .ras import OneLevelASM, OneLevelRAS
 
-_KRYLOV = {"gmres": gmres, "p1-gmres": p1_gmres, "cg": cg}
+_KRYLOV = {
+    "gmres": gmres,
+    "p1-gmres": p1_gmres,
+    "cg": cg,
+    "fgmres": fgmres,
+    "sstep": s_step_gmres,
+    "deflated-cg": deflated_cg,
+}
+#: drivers that take a ``restart`` cycle length directly
+_RESTARTED = ("gmres", "p1-gmres", "fgmres")
 
 
 @dataclass
@@ -103,7 +121,9 @@ class SchwarzSolver:
     preconditioner:
         "adef1" (paper), "adef2", "bnn", or "ras"/"asm" (one-level).
     krylov:
-        "gmres" (paper), "p1-gmres" (§3.5), or "cg".
+        "gmres" (paper), "p1-gmres" (§3.5), "cg", "fgmres", "sstep"
+        (communication-avoiding s-step GMRES), or "deflated-cg"
+        (explicit GenEO deflation; needs a two-level preconditioner).
     dirichlet:
         Passed to :class:`~repro.dd.problem.Problem`.
     parallel:
@@ -155,6 +175,12 @@ class SchwarzSolver:
         if krylov not in _KRYLOV:
             raise ReproError(f"unknown krylov method {krylov!r}; "
                              f"expected one of {sorted(_KRYLOV)}")
+        if krylov == "deflated-cg" and preconditioner not in (
+                "adef1", "adef2", "bnn"):
+            raise ReproError(
+                "krylov='deflated-cg' needs the GenEO deflation basis — "
+                "use a two-level preconditioner (adef1/adef2/bnn), "
+                f"got {preconditioner!r}")
         self.recorder = NULL_RECORDER if recorder is None else recorder
         self.timer = PhaseTimer(recorder=self.recorder)
         self.parallel = resolve_parallel(parallel)
@@ -181,6 +207,9 @@ class SchwarzSolver:
                eigensolver, dirichlet, part, scaling, seed) -> None:
         self.problem = Problem(mesh, form, dirichlet=dirichlet,
                                scaling=scaling)
+        #: kept for components that re-factorize a coarse operator later
+        #: (e.g. the recycling session augmenting the deflation space)
+        self.coarse_backend = coarse_backend
         if part is None:
             part = partition_mesh(mesh, num_subdomains,
                                   method=partition_method, seed=seed)
@@ -267,11 +296,15 @@ class SchwarzSolver:
     # ------------------------------------------------------------------
     def solve(self, b: np.ndarray | None = None, *, tol: float = 1e-6,
               restart: int = 40, maxiter: int = 1000,
-              callback=None, recovery=None) -> SolveReport:
+              x0: np.ndarray | None = None,
+              callback=None, recovery=None,
+              degrade_sticky: bool = False) -> SolveReport:
         """Solve the (reduced) system with the configured Krylov method.
 
         *b* is a reduced right-hand side; ``None`` assembles the form's
-        natural load vector.  *recovery* (a mode string or
+        natural load vector.  *x0* warm-starts the Krylov iteration (all
+        six drivers accept it; an exact-solution guess converges in zero
+        iterations).  *recovery* (a mode string or
         :class:`~repro.resilience.RecoveryPolicy`) overrides the
         constructor's policy for this solve; with faults armed and
         recovery ``off``, failures surface as typed exceptions — with
@@ -280,6 +313,14 @@ class SchwarzSolver:
         retries, up to ``max_restarts`` times.  Recovery actions land in
         :attr:`SolveReport.resilience` and as ``recovery.*`` trace
         events.
+
+        Degrade-mode measures (a disabled subdomain, the one-level-only
+        preconditioner after a coarse failure) are scoped to *this*
+        solve: the preconditioner configuration is snapshotted on entry
+        and restored on exit, so a later healthy solve runs at full
+        strength again.  Pass ``degrade_sticky=True`` to keep the
+        degraded configuration for subsequent solves (the long-lived
+        lost-rank scenario of ``docs/resilience.md``).
         """
         if b is None:
             b = self.problem.rhs()
@@ -298,8 +339,12 @@ class SchwarzSolver:
         self.one_level.injector = injector
         kwargs = dict(tol=tol, maxiter=maxiter,
                       callback=callback, profiler=profiler)
-        if self.krylov_name in ("gmres", "p1-gmres"):
+        if self.krylov_name in _RESTARTED:
             kwargs["restart"] = restart
+        elif self.krylov_name == "sstep":
+            # s-step GMRES builds s monomial-basis directions per global
+            # sync; cap s for conditioning, scaled off the cycle length
+            kwargs["s"] = max(1, min(restart, 12))
 
         def make_health():
             if injector is None and not policy.active:
@@ -320,24 +365,48 @@ class SchwarzSolver:
                 "faults": {}, "breakdowns": [],
             }
         health = make_health()
-        x0 = None
-        with self.timer.phase("solution"):
-            while True:
-                try:
-                    res = method(self.operator, b, x0=x0,
-                                 M=self.preconditioner.apply,
-                                 health=health, **kwargs)
-                    break
-                except (KrylovBreakdown, RankFailure,
-                        CoarseSolveError) as exc:
-                    if health is not None:
-                        resilience["breakdowns"] = list(health.breakdowns)
-                    if (not policy.active
-                            or resilience["restarts"] >= policy.max_restarts):
-                        raise
-                    resilience["restarts"] += 1
-                    x0 = self._recover(exc, policy, health, resilience)
-                    health = make_health()
+        guess = None if x0 is None else np.asarray(x0, dtype=np.float64)
+        # degrade-mode recovery mutates the preconditioner configuration
+        # (disabled subdomains, one-level-only fallback); snapshot it so
+        # the degradation stays scoped to this solve unless the caller
+        # keeps it with degrade_sticky=True
+        saved_pre = self.preconditioner
+        saved_disabled = set(self.one_level.disabled)
+        try:
+            with self.timer.phase("solution"):
+                while True:
+                    try:
+                        if self.krylov_name == "deflated-cg":
+                            # the deflation basis carries the coarse
+                            # space explicitly; pair with the one-level
+                            # preconditioner only (a two-level M would
+                            # apply the coarse correction twice)
+                            res = method(self.operator, b,
+                                         self.deflation.Z,
+                                         M=self.one_level.apply,
+                                         x0=guess, health=health, **kwargs)
+                        else:
+                            res = method(self.operator, b, x0=guess,
+                                         M=self.preconditioner.apply,
+                                         health=health, **kwargs)
+                        break
+                    except (KrylovBreakdown, RankFailure,
+                            CoarseSolveError) as exc:
+                        if health is not None:
+                            resilience["breakdowns"] = \
+                                list(health.breakdowns)
+                        if (not policy.active
+                                or resilience["restarts"]
+                                >= policy.max_restarts):
+                            raise
+                        resilience["restarts"] += 1
+                        guess = self._recover(exc, policy, health,
+                                              resilience)
+                        health = make_health()
+        finally:
+            if not degrade_sticky:
+                self.preconditioner = saved_pre
+                self.one_level.disabled = saved_disabled
         if resilience:
             if self.coarse is not None:
                 resilience["coarse_fallbacks"] = self.coarse.fallbacks
@@ -352,6 +421,21 @@ class SchwarzSolver:
             num_subdomains=self.decomposition.num_subdomains,
             coarse_dim=self.coarse_dim, nu=self.nu,
             resilience=resilience)
+
+    # ------------------------------------------------------------------
+    def session(self, **kwargs):
+        """Open a :class:`repro.batch.SolveSession` over this solver's
+        expensive state (decomposition, local factorizations, GenEO
+        deflation space, coarse factorization, recorder).
+
+        The session amortizes setup across many right-hand sides: block
+        Krylov solves via :meth:`~repro.batch.SolveSession.solve_many`
+        and Ritz-recycled sequential solves via
+        :meth:`~repro.batch.SolveSession.solve`.  Keyword arguments are
+        forwarded to the :class:`~repro.batch.SolveSession` constructor.
+        """
+        from ..batch import SolveSession
+        return SolveSession(self, **kwargs)
 
     def _recover(self, exc, policy, health, resilience):
         """One recovery step: log the event, apply the structural

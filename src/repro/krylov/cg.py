@@ -11,7 +11,7 @@ import numpy as np
 
 from ..common.errors import IndefiniteError, KrylovBreakdown
 from .gmres import KrylovResult, _as_operator
-from .profile import SolveProfiler
+from .profile import SolveProfiler, finish_zero_rhs
 
 
 def cg(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
@@ -39,8 +39,8 @@ def cg(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0],
-                            profile=prof.as_dict())
+        return finish_zero_rhs(n, profiler=prof, callback=callback,
+                               health=health)
     target = tol * bnorm
 
     try:

@@ -18,10 +18,11 @@ import scipy.sparse as sp
 from ..common.errors import IndefiniteError, KrylovError
 from ..solvers import factorize
 from .gmres import KrylovResult, _as_operator
-from .profile import SolveProfiler
+from .profile import SolveProfiler, finish_zero_rhs
 
 
-def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
+def deflated_cg(A, b: np.ndarray, Z, *, M=None,
+                x0: np.ndarray | None = None, tol: float = 1e-6,
                 maxiter: int = 1000, backend: str = "dense",
                 callback=None,
                 profiler: SolveProfiler | None = None,
@@ -36,6 +37,12 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
         ``(n, m)`` deflation basis (dense or sparse), full column rank.
     M:
         Optional SPD preconditioner (callable or matrix).
+    x0:
+        Initial guess.  The deflated iteration runs on x̂ with
+        ``r = P(b − A x0)``; the final map ``x = Q b + Pᵀ x̂`` then
+        reproduces ``x0`` exactly when it already solves the system
+        (``Q b + Pᵀ x* = x*``), so a warm start from the exact solution
+        converges in zero iterations like the undeflated drivers.
     """
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
@@ -62,14 +69,22 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0],
-                            profile=prof.as_dict())
+        return finish_zero_rhs(n, profiler=prof, callback=callback,
+                               health=health)
     target = tol * bnorm
 
     x_coarse = Zd @ Ef.solve(Zd.T @ b)      # Q b
-    xhat = np.zeros(n)
-    r = P(b)
+    if x0 is None:
+        xhat = np.zeros(n)
+        r = P(b)
+    else:
+        xhat = np.array(x0, dtype=np.float64)
+        r = P(b - A_mul(xhat))
     z = M_mul(r)
+    if health is not None:
+        # a corrupted preconditioner application must surface as a typed
+        # breakdown before the NaN reaches the projector's dense solve
+        health.check_vector("preconditioned", z, 0)
     p = z.copy()
     rz = float(r @ z)
     residuals = [float(np.linalg.norm(r)) / bnorm]
@@ -97,6 +112,8 @@ def deflated_cg(A, b: np.ndarray, Z, *, M=None, tol: float = 1e-6,
         xhat += alpha * p
         r -= alpha * Ap
         z = M_mul(r)
+        if health is not None:
+            health.check_vector("preconditioned", z, it)
         rz_new = float(r @ z)
         beta = rz_new / rz
         rz = rz_new

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..common.errors import ConvergenceError, KrylovError
-from .profile import SolveProfiler
+from .profile import SolveProfiler, finish_zero_rhs
 
 
 @dataclass
@@ -45,6 +45,12 @@ class KrylovResult:
     #: preconditioner), ``coarse_solve`` (nested inside ``apply``),
     #: ``matvec``, ``orthogonalization``
     profile: dict[str, float] = field(default_factory=dict)
+    #: last-cycle Arnoldi data ``(V, H̄)`` with ``V`` of shape
+    #: ``(n, k+1)`` and the *untransformed* Hessenberg ``H̄`` of shape
+    #: ``(k+1, k)`` — populated only by drivers called with
+    #: ``keep_basis=True``; the raw material for harvesting recycled
+    #: Ritz vectors (:mod:`repro.batch.recycle`)
+    basis: tuple | None = None
 
     @property
     def final_residual(self) -> float:
@@ -74,7 +80,7 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
           tol: float = 1e-6, restart: int = 40, maxiter: int = 1000,
           callback=None, raise_on_stall: bool = False,
           profiler: SolveProfiler | None = None,
-          health=None) -> KrylovResult:
+          health=None, keep_basis: bool = False) -> KrylovResult:
     """Right-preconditioned restarted GMRES: solve ``A (M y) = b``,
     ``x = M y``.
 
@@ -102,6 +108,10 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         from the last completed cycle.  New basis vectors are scanned
         for NaN/Inf and a cheap orthogonality defect ``|v_{j+1}·v_0|``
         is reported.
+    keep_basis:
+        When True, attach the last cycle's Arnoldi data (basis V and the
+        untransformed Hessenberg H̄) to :attr:`KrylovResult.basis` for a
+        posteriori Ritz harvesting (subspace recycling).
     """
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
@@ -116,23 +126,35 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0],
-                            profile=prof.as_dict())
+        return finish_zero_rhs(n, profiler=prof, callback=callback,
+                               health=health)
     target = tol * bnorm
 
     residuals: list[float] = []
     syncs = 0
     total_it = 0
     cycle = 0
+    j_done = 0
 
     # workspaces allocated once, reused across restarts
     m = restart
     V = np.empty((n, m + 1))
     H = np.zeros((m + 1, m))
+    # Givens rotations triangularise H in place; recycling needs the raw
+    # Arnoldi Hessenberg, so keep an untouched copy when asked to
+    Hraw = np.zeros((m + 1, m)) if keep_basis else None
     cs = np.zeros(m)
     sn = np.zeros(m)
     g = np.zeros(m + 1)
     scratch = np.empty(n)
+
+    def _basis():
+        # last completed cycle's Arnoldi data, or None when harvesting
+        # is off / the solve converged before any inner iteration ran
+        if Hraw is None or j_done == 0:
+            return None
+        return (V[:, :j_done + 1].copy(),
+                Hraw[:j_done + 1, :j_done].copy())
 
     while True:
         if cycle > 0:
@@ -175,6 +197,8 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                 else:
                     # lucky breakdown — the basis stopped growing
                     prof.orthogonality_loss(total_it, float(H[j + 1, j]))
+            if Hraw is not None:
+                Hraw[:j + 2, j] = H[:j + 2, j]
             # apply stored Givens rotations to the new column
             for i in range(j):
                 t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
@@ -218,10 +242,12 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
                     profile=prof.as_dict())
             return KrylovResult(x=x, iterations=total_it,
                                 residuals=residuals, converged=False,
-                                global_syncs=syncs, profile=prof.as_dict())
+                                global_syncs=syncs, profile=prof.as_dict(),
+                                basis=_basis())
     return KrylovResult(x=x, iterations=total_it, residuals=residuals,
                         converged=residuals[-1] * bnorm <= target * (1 + 1e-12),
-                        global_syncs=syncs, profile=prof.as_dict())
+                        global_syncs=syncs, profile=prof.as_dict(),
+                        basis=_basis())
 
 
 def _back_substitute(H: np.ndarray, g: np.ndarray, k: int) -> np.ndarray:

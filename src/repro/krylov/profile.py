@@ -28,6 +28,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
+import numpy as np
+
 from ..obs.recorder import NULL_RECORDER
 
 
@@ -108,6 +110,43 @@ class SolveProfiler:
             rec.event("orthogonality_loss",
                       attrs={"k": int(k), "value": float(value)})
 
+    def column_converged(self, k: int, col: int, residual: float) -> None:
+        """A block driver's column *col* reached its target at (block)
+        iteration *k* — emitted once per right-hand side, so the trace
+        shows when each column was deflated from the active block
+        (:func:`repro.obs.column_iterations` reconstructs the map)."""
+        rec = self.recorder
+        if rec.enabled:
+            rec.event("batch.column_converged",
+                      attrs={"k": int(k), "col": int(col),
+                             "residual": float(residual)})
+
     def as_dict(self) -> dict[str, float]:
         """Accumulated seconds per phase (a plain copy)."""
         return dict(self.times)
+
+
+def finish_zero_rhs(n: int, *, profiler: SolveProfiler,
+                    callback=None, health=None):
+    """Shared ``‖b‖ = 0`` early return for every Krylov driver.
+
+    Semantics (previously six diverging copies): a zero right-hand side
+    has the exact solution ``x = 0`` for any nonsingular operator, so
+    the drivers return it immediately — *discarding* any ``x0`` (the
+    exact answer is known, iterating from a guess could only add noise).
+    ``residuals`` is ``[0.0]`` by convention: the relative residual
+    ``‖b − A x‖ / ‖b‖`` is 0/0 and the solve is converged, so the
+    history records a single converged sample.  The callback and the
+    health monitor each fire exactly once with that sample, mirroring
+    the iteration-0 behaviour of a normal solve (previously both were
+    silently skipped).
+    """
+    from .gmres import KrylovResult    # deferred: gmres imports profile
+    x = np.zeros(n)
+    profiler.iteration(0, 0.0)
+    if health is not None:
+        health.observe(0, 0.0, x)
+    if callback is not None:
+        callback(0, 0.0)
+    return KrylovResult(x=x, iterations=0, residuals=[0.0],
+                        converged=True, profile=profiler.as_dict())

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..common.errors import KrylovError
 from .gmres import KrylovResult, _as_operator
-from .profile import SolveProfiler
+from .profile import SolveProfiler, finish_zero_rhs
 
 
 def s_step_gmres(A, b: np.ndarray, *, M=None, s: int = 6,
@@ -50,8 +50,8 @@ def s_step_gmres(A, b: np.ndarray, *, M=None, s: int = 6,
 
     bnorm = float(np.linalg.norm(b))
     if bnorm == 0.0:
-        return KrylovResult(x=np.zeros(n), iterations=0, residuals=[0.0],
-                            profile=prof.as_dict())
+        return finish_zero_rhs(n, profiler=prof, callback=callback,
+                               health=health)
     target = tol * bnorm
 
     residuals: list[float] = []

@@ -23,6 +23,7 @@ from .recorder import (
     NullRecorder,
     Recorder,
     SpanRecord,
+    column_iterations,
     iteration_residuals,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "SpanRecord",
     "EventRecord",
     "iteration_residuals",
+    "column_iterations",
     "FORMATS",
     "TraceData",
     "to_chrome_trace",

@@ -302,3 +302,21 @@ def iteration_residuals(recorder) -> list[float]:
         else:
             out.append(e.attrs["residual"])
     return out
+
+
+def column_iterations(recorder) -> dict[int, int]:
+    """Per-column convergence map from ``batch.column_converged`` events.
+
+    Block drivers emit one event per right-hand side when its column
+    reaches the target; the returned dict maps column index → block
+    iteration at which it was deflated (mirrors
+    ``BlockKrylovResult.column_iterations`` for columns that converged).
+    """
+    out: dict[int, int] = {}
+    for e in recorder.events:
+        if e.name != "batch.column_converged":
+            continue
+        col = int(e.attrs["col"])
+        if col not in out:
+            out[col] = int(e.attrs["k"])
+    return out

@@ -493,15 +493,51 @@ class TestFaultMatrix:
                 solver.solve(tol=1e-8)
 
     def test_degrade_disables_killed_subdomain(self):
+        # degrade_sticky=True opts into keeping the degraded
+        # configuration alive after the solve (lost-rank scenario)
         solver = _small_solver(
             faults=FAULT_CASES["kill_subdomain_persistent"],
             recovery="degrade")
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)
-            report = solver.solve(tol=1e-8)
+            report = solver.solve(tol=1e-8, degrade_sticky=True)
         assert report.converged
         assert report.resilience["degraded_subdomains"] == [2]
         assert 2 in solver.one_level.disabled
+
+    def test_degrade_state_restored_after_solve(self):
+        # regression: degrade-mode measures used to persist — a healthy
+        # re-solve after the fault plan was exhausted still ran with the
+        # subdomain disabled (and, for coarse faults, one-level only)
+        baseline = _small_solver().solve(tol=1e-8)
+        solver = _small_solver(faults=FAULT_CASES["kill_subdomain"],
+                               recovery="degrade")
+        pre = solver.preconditioner
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            faulted = solver.solve(tol=1e-8)
+        assert faulted.converged
+        assert faulted.resilience["degraded_subdomains"] == [2]
+        assert solver.one_level.disabled == set()
+        assert solver.preconditioner is pre
+        # the (transient, now exhausted) fault is done: a clean solve
+        # must match the never-faulted iteration count exactly
+        clean = solver.solve(tol=1e-8)
+        assert clean.iterations == baseline.iterations
+
+    def test_one_level_fallback_restored_after_solve(self):
+        # the coarse-failure path swaps self.preconditioner to the
+        # one-level method mid-solve; that swap must not outlive solve()
+        plan = FaultPlan([FaultSpec("nan", "coarse_solve", nth=1,
+                                    persistent=True)])
+        solver = _small_solver(faults=plan, recovery="degrade")
+        pre = solver.preconditioner
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            report = solver.solve(tol=1e-8)
+        assert report.converged
+        assert report.resilience["one_level_only"]
+        assert solver.preconditioner is pre
 
     def test_eigensolve_fault_off_raises(self):
         plan = FaultPlan([FaultSpec("kill", "eigensolve", rank=1)])
