@@ -4,11 +4,18 @@ Every paper experiment writes its regenerated table/figure to
 ``benchmarks/results/<experiment>.txt`` so that EXPERIMENTS.md can point
 at concrete artefacts; pytest-benchmark additionally times one
 representative kernel per experiment.
+
+Result hygiene: every JSON payload is stamped with a ``provenance``
+block — git SHA, kernel backend + precision, numpy version — so a
+result file is interpretable on its own.  ``benchmarks/results/`` holds
+regenerated (gitignored) artefacts; committed reference numbers go to
+the tracked repo-root ``results/`` via :func:`write_tracked_json`.
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
 from pathlib import Path
 
 import numpy as np
@@ -18,6 +25,29 @@ from repro.fem.forms import DiffusionForm, ElasticityForm
 from repro.mesh import cantilever_2d, refine_uniform, unit_cube, unit_square
 
 RESULTS = Path(__file__).parent / "results"
+#: committed reference results (repo root, tracked by git)
+TRACKED_RESULTS = Path(__file__).parent.parent / "results"
+
+
+def provenance() -> dict:
+    """Provenance stamp for result JSONs: git SHA, the active kernel
+    backend (``$REPRO_KERNEL_BACKEND`` resolution) and its precision,
+    and the numpy version."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent.parent, capture_output=True,
+            text=True, timeout=10).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    try:
+        from repro.kernels import get_backend
+        backend = get_backend()
+        name, precision = backend.name, backend.precision
+    except Exception:  # noqa: BLE001 - provenance must never fail a bench
+        name, precision = "unknown", "unknown"
+    return {"git_sha": sha, "kernel_backend": name,
+            "precision": precision, "numpy": np.__version__}
 
 
 def write_result(name: str, text: str) -> None:
@@ -27,13 +57,26 @@ def write_result(name: str, text: str) -> None:
     print(f"\n{text}\n[written to {path}]")
 
 
-def write_json(name: str, payload: dict) -> None:
-    """Machine-readable companion to :func:`write_result` — trajectory
-    numbers (speedups, call counts) land in ``results/<name>.json``."""
-    RESULTS.mkdir(exist_ok=True)
-    path = RESULTS / f"{name}.json"
+def _dump_json(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("provenance", provenance())
+    path = directory / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[json written to {path}]")
+
+
+def write_json(name: str, payload: dict) -> None:
+    """Machine-readable companion to :func:`write_result` — trajectory
+    numbers (speedups, call counts) land in ``results/<name>.json``,
+    stamped with :func:`provenance`."""
+    _dump_json(RESULTS, name, payload)
+
+
+def write_tracked_json(name: str, payload: dict) -> None:
+    """Like :func:`write_json` but to the tracked repo-root
+    ``results/`` — for reference numbers that are committed."""
+    _dump_json(TRACKED_RESULTS, name, payload)
 
 
 # ----------------------------------------------------------------------

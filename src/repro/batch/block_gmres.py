@@ -55,7 +55,7 @@ def block_gmres(A_block, B: np.ndarray, *, M_block=None,
                 X0: np.ndarray | None = None, tol: float = 1e-6,
                 restart: int = 20, maxiter: int = 1000,
                 profiler: SolveProfiler | None = None,
-                callback=None) -> BlockKrylovResult:
+                callback=None, kernels=None) -> BlockKrylovResult:
     """Solve ``A X = B`` column-wise with block GMRES(m).
 
     Parameters
@@ -73,7 +73,13 @@ def block_gmres(A_block, B: np.ndarray, *, M_block=None,
         Budget of *block* iterations across cycles.
     callback:
         Optional ``callback(k, max_rel_residual)`` per block iteration.
+    kernels:
+        Optional :class:`~repro.kernels.KernelBackend` owning the
+        blocked CGS2 kernel; ``None`` is the bitwise-reference ``numpy``
+        backend.
     """
+    from ..kernels import default_backend
+    kern = default_backend() if kernels is None else kernels
     B = np.asarray(B, dtype=np.float64)
     if B.ndim != 2:
         raise KrylovError(f"B must be a column block, got ndim={B.ndim}")
@@ -142,14 +148,11 @@ def block_gmres(A_block, B: np.ndarray, *, M_block=None,
                 W = A_block(Pj)
             k = (j + 1) * pa
             with prof.phase("orthogonalization"):
-                # blocked CGS2: two projection sweeps, each a pair of
-                # gemms — the block analogue of one batched reduction
-                C1 = Vb[:, :k].T @ W
-                W = W - Vb[:, :k] @ C1
-                C2 = Vb[:, :k].T @ W
-                W = W - Vb[:, :k] @ C2
-                Vnew, Hdiag = _qr_block(W)
-            Hbar[:k, j * pa:k] = C1 + C2
+                # blocked CGS2 through the kernel backend: two projection
+                # sweeps, each a pair of gemms — the block analogue of
+                # one batched reduction
+                Hcol, Vnew, Hdiag = kern.ortho_block(Vb, k, W, _qr_block)
+            Hbar[:k, j * pa:k] = Hcol
             Hbar[k:k + pa, j * pa:k] = Hdiag
             Vb[:, k:k + pa] = Vnew
             # small block least squares: min ‖G − H̄ Y‖ per column

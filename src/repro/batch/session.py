@@ -148,7 +148,8 @@ class SolveSession:
                 res = block_gmres(
                     self.decomposition.matvec_block, B,
                     M_block=pre.apply_block, X0=X0, tol=tol,
-                    restart=restart, maxiter=maxiter, profiler=profiler)
+                    restart=restart, maxiter=maxiter, profiler=profiler,
+                    kernels=self.solver.kernels)
         self.batches += 1
         if self.recorder.enabled:
             self.recorder.add("batch.block_iterations", res.iterations)
@@ -178,7 +179,8 @@ class SolveSession:
         pre = self._preconditioner
         res = gmres(self.decomposition.matvec, b, M=pre.apply, x0=x0,
                     tol=tol, restart=restart, maxiter=maxiter,
-                    profiler=profiler, keep_basis=recycle)
+                    profiler=profiler, keep_basis=recycle,
+                    kernels=self.solver.kernels)
         self.solves += 1
         if recycle and self.recycle_dim > 0:
             U = harvest_ritz_vectors(res.basis, pre.apply,
@@ -230,7 +232,8 @@ class SolveSession:
             coarse = CoarseOperator(space,
                                     backend=solver.coarse_backend,
                                     parallel=solver.parallel,
-                                    recorder=self.recorder)
+                                    recorder=self.recorder,
+                                    kernels=solver.kernels)
         base = solver.preconditioner
         if isinstance(base, (TwoLevelADEF1, TwoLevelADEF2, TwoLevelBNN)):
             cls = type(base)

@@ -89,7 +89,8 @@ def cmd_solve(args) -> int:
             nev=args.nev, levels=args.levels, krylov=args.krylov,
             partition_method=args.partitioner, dirichlet=clamp,
             seed=args.seed, parallel=parallel, recorder=recorder,
-            faults=faults, recovery=args.recovery)
+            faults=faults, recovery=args.recovery,
+            kernel_backend=args.backend or None)
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
     if args.rhs_batch > 1 or args.recycle:
@@ -100,6 +101,7 @@ def cmd_solve(args) -> int:
             ["dofs", solver.problem.space.num_dofs],
             ["subdomains", args.subdomains],
             ["coarse dim", solver.coarse_dim],
+            ["kernel backend", solver.kernels.name],
             ["iterations", report.iterations],
             ["converged", report.converged],
             ["final residual", f"{report.krylov.final_residual:.3e}"]]
@@ -211,6 +213,25 @@ def _solve_batched(args, solver, recorder) -> int:
     return 0 if report.converged else 1
 
 
+def cmd_backends(args) -> int:
+    from .kernels import ENV_VAR, available_backends
+    import os
+    selected = os.environ.get(ENV_VAR) or "numpy"
+    rows = []
+    for name, cap in available_backends().items():
+        rows.append([name,
+                     "yes" if cap["available"] else "NO",
+                     cap.get("precision", "-"),
+                     "yes" if cap.get("compiled") else "no",
+                     "; ".join(cap.get("notes", [])) or
+                     ("default" if name == selected else "")])
+    print(table(["backend", "available", "precision", "compiled", "notes"],
+                rows, title="repro kernel backends"))
+    print(f"\nselection: --backend flag > ${ENV_VAR} "
+          f"(currently {os.environ.get(ENV_VAR) or 'unset'}) > numpy")
+    return 0
+
+
 def cmd_trace(args) -> int:
     from .obs import load_trace, render_trace
     trace = load_trace(args.path)
@@ -311,6 +332,11 @@ def make_parser() -> argparse.ArgumentParser:
                     help="recycle harmonic Ritz vectors between "
                          "successive solves (GCRO-DR-style deflation "
                          "augmentation)")
+    ps.add_argument("--backend", default="",
+                    help="kernel backend for the solve-phase hot loops "
+                         "(numpy, fp32, compiled; empty = "
+                         "$REPRO_KERNEL_BACKEND or numpy — see "
+                         "`repro backends` and docs/performance.md)")
     ps.set_defaults(fn=cmd_solve)
 
     pi = sub.add_parser("info", help="print problem statistics")
@@ -320,6 +346,10 @@ def make_parser() -> argparse.ArgumentParser:
                          "overlap/neighbour statistics")
     pi.add_argument("--delta", type=int, default=1)
     pi.set_defaults(fn=cmd_info)
+
+    pb = sub.add_parser("backends", help="probe the kernel backends and "
+                                         "print the capability table")
+    pb.set_defaults(fn=cmd_backends)
 
     pt = sub.add_parser("trace", help="render a telemetry trace "
                                       "(chrome or jsonl) as ASCII")

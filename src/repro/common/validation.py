@@ -27,6 +27,26 @@ def as_1d_float(x, name: str = "vector") -> np.ndarray:
     return arr
 
 
+def as_float64_block(X, name: str = "block",
+                     exc_type: type[Exception] = ReproError) -> np.ndarray:
+    """Coerce *X* to a 2-D float64 column block.
+
+    The explicit dtype contract of the block plumbing (``matvec_block``,
+    ``apply_block``, ``zt_dot_block``): a float32 (or integer) block is
+    upcast to float64 before it enters the solve kernels, a complex
+    block is rejected, and a float64 block passes through untouched —
+    so every block path returns float64 whatever the caller handed in.
+    """
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise exc_type(f"{name} expects a column block, got ndim={X.ndim}")
+    if np.issubdtype(X.dtype, np.complexfloating):
+        raise exc_type(f"{name} expects a real block, got dtype {X.dtype}")
+    if X.dtype != np.float64:
+        X = X.astype(np.float64)
+    return X
+
+
 def as_csr(A, name: str = "matrix") -> sp.csr_matrix:
     """Coerce *A* to CSR, accepting any scipy sparse format or dense."""
     if sp.issparse(A):

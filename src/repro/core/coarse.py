@@ -218,14 +218,25 @@ class CoarseOperator:
         steps as spans (``assemble_E``, ``assemble_AZ``,
         ``factorize_E``) and counts every coarse solve under the
         ``coarse_solves`` counter.
+    kernels:
+        Optional :class:`~repro.kernels.KernelBackend`.  The coarse
+        solve and the cached A·Z product route through it — the
+        ``fp32`` backend substitutes a probed single-precision LDLᵀ
+        mirror of E (the fp64 factorization stays as the fallback and
+        the resilience path).  When given, the deflation space's CSR
+        products are routed through the same backend.
     """
 
     def __init__(self, space: DeflationSpace, *, backend: str = "superlu",
                  rank_tol: float = 1e-10,
                  parallel: ParallelConfig | str | None = None,
-                 recorder=None):
+                 recorder=None, kernels=None):
+        from ..kernels import default_backend
         from ..obs.recorder import NULL_RECORDER
         self.space = space
+        self.kernels = default_backend() if kernels is None else kernels
+        if kernels is not None:
+            space.kernels = self.kernels
         self.recorder = NULL_RECORDER if recorder is None else recorder
         with self.recorder.span("assemble_E"):
             blocks, T = coarse_blocks_with_T(space, parallel)
@@ -240,6 +251,9 @@ class CoarseOperator:
         self._rank_tol = rank_tol
         with self.recorder.span("factorize_E"):
             self.factorization = self._robust_factorize(backend, rank_tol)
+        #: optional reduced-precision solve routine from the kernel
+        #: backend (``None`` → use :attr:`factorization` directly)
+        self._kernel_solve = self.kernels.make_coarse_solve(self)
         self.solves = 0
         #: optional :class:`~repro.krylov.SolveProfiler` — when attached,
         #: every coarse solve is timed under its ``coarse_solve`` phase
@@ -300,7 +314,8 @@ class CoarseOperator:
         return self._checked_solve(w)
 
     def _checked_solve(self, w: np.ndarray) -> np.ndarray:
-        y = self.factorization.solve(w)
+        y = self.factorization.solve(w) if self._kernel_solve is None \
+            else self._kernel_solve(w)
         if self.injector is not None:
             y = self.injector.fire("coarse_solve", 0, y)
         if np.all(np.isfinite(y)):
@@ -314,10 +329,27 @@ class CoarseOperator:
         return self._fallback_solve(w)
 
     def _fallback_solve(self, w: np.ndarray) -> np.ndarray:
-        """§resilience fallback chain: rebuild E's solve as a truncated
-        pseudo-inverse and retry once; a still-broken solve raises
+        """§resilience fallback chain: drop the reduced-precision kernel
+        mirror (if one produced the garbage) and retry the fp64
+        factorization, then rebuild E's solve as a truncated
+        pseudo-inverse; a still-broken solve raises
         :class:`~repro.common.errors.CoarseSolveError` so the solver can
         degrade to one-level-only mode."""
+        if self._kernel_solve is not None:
+            self.fallbacks += 1
+            self._kernel_solve = None
+            warnings.warn(
+                "reduced-precision coarse solve produced non-finite "
+                "values; dropping the kernel mirror and retrying fp64",
+                RuntimeWarning, stacklevel=3)
+            if self.recorder.enabled:
+                self.recorder.event("recovery.coarse_fallback",
+                                    attrs={"to": "fp64"})
+            y = self.factorization.solve(w)
+            if self.injector is not None:
+                y = self.injector.fire("coarse_solve", 0, y)
+            if np.all(np.isfinite(y)):
+                return y
         if not isinstance(self.factorization, _PseudoInverse):
             self.fallbacks += 1
             self.rank_deficient = True
@@ -358,7 +390,7 @@ class CoarseOperator:
     def az_dot(self, y: np.ndarray) -> np.ndarray:
         """A Z y via the cached :attr:`AZ` — one spmv, zero global SpMVs
         and zero overlap exchanges (the A-DEF1 fast path)."""
-        return self.AZ @ y
+        return self.kernels.spmv(self.AZ, y)
 
     def az_dot_blocks(self, y: np.ndarray) -> np.ndarray:
         """Distributed form of :meth:`az_dot`: per-subdomain gemvs

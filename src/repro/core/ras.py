@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..common.validation import as_float64_block
 from ..dd.decomposition import Decomposition
+from ..kernels import default_backend
 from ..parallel import ParallelConfig, parallel_map, resolve_parallel, timed_map
-from ..solvers import factorize
 
 
 class OneLevelRAS:
@@ -31,14 +32,18 @@ class OneLevelRAS:
 
     def __init__(self, dec: Decomposition, *, backend: str = "superlu",
                  parallel: ParallelConfig | str | None = None,
-                 recorder=None):
+                 recorder=None, kernels=None):
         self.dec = dec
         self.backend = backend
         self.parallel = resolve_parallel(parallel)
+        #: kernel backend owning the local factorizations and the fused
+        #: apply path (:mod:`repro.kernels`); the default ``numpy``
+        #: backend reproduces the historical behaviour bitwise
+        self.kernels = default_backend() if kernels is None else kernels
         #: per-subdomain factorization seconds — SPMD wall-clock for the
         #: *factorization* phase of figs. 8/10 is the max of these
         self.factorizations, self.factor_times = timed_map(
-            lambda s: factorize(s.A_dir, backend),
+            lambda s: self.kernels.factorize_local(s.A_dir, backend),
             dec.subdomains, self.parallel,
             recorder=recorder, label="factorize")
         self.applications = 0
@@ -50,6 +55,12 @@ class OneLevelRAS:
         #: docs/resilience.md)
         self.disabled: set[int] = set()
         self._surrogate: dict[int, np.ndarray] = {}
+        #: fused per-subdomain apply handles (gather → solve → weighted
+        #: scatter-add) — ``None`` on the reference backend or for the
+        #: unweighted ASM variant, which keep the legacy path
+        self._fused = self.kernels.fuse_ras(
+            self.factorizations, dec.subdomains) if self.weighted else None
+        self._nlocal = int(sum(s.size for s in dec.subdomains))
 
     def disable(self, i: int) -> None:
         """Replace subdomain *i*'s exact local solve by a Jacobi
@@ -72,10 +83,25 @@ class OneLevelRAS:
         The N local solves run under the configured executor; the
         partition-of-unity combination walks subdomains in submission
         order, so the result is bitwise independent of the executor.
+
+        With a fused kernel backend (fp32/compiled), a serial executor
+        and no resilience machinery armed, the whole application runs
+        as N fused gather→solve→scatter passes with no intermediate
+        local vectors; any injector, disabled subdomain or parallel
+        executor falls back to the legacy solve-then-combine path.
         """
         self.applications += 1
         facts, subs = self.factorizations, self.dec.subdomains
         injector, disabled = self.injector, self.disabled
+        if (self._fused is not None and injector is None and not disabled
+                and self.parallel.backend == "serial"):
+            # the fused gather reads raw fp64 memory — guarantee layout
+            r = np.ascontiguousarray(r, dtype=np.float64)
+            out = np.zeros(self.dec.problem.num_free)
+            for h in self._fused:
+                h.apply_weighted(r, out)
+            self.kernels.note_ras_apply(self._nlocal)
+            return out
 
         def local_solve(i: int) -> np.ndarray:
             if i in disabled:
@@ -98,11 +124,22 @@ class OneLevelRAS:
         under the configured executor; accumulation is serial in
         submission order.
         """
-        if R.ndim != 2:
-            raise ValueError(f"apply_block expects a column block, "
-                             f"got ndim={R.ndim}")
+        R = as_float64_block(R, "apply_block", ValueError)
         self.applications += R.shape[1]
         facts, subs = self.factorizations, self.dec.subdomains
+        if (self._fused is not None and self.injector is None
+                and not self.disabled
+                and self.parallel.backend == "serial"):
+            out = np.zeros((self.dec.problem.num_free, R.shape[1]))
+            col = np.empty(self.dec.problem.num_free)
+            for c in range(R.shape[1]):
+                buf = np.ascontiguousarray(R[:, c])
+                col[:] = 0.0
+                for h in self._fused:
+                    h.apply_weighted(buf, col)
+                out[:, c] = col
+            self.kernels.note_ras_apply(self._nlocal, columns=R.shape[1])
+            return out
 
         def local_solve(i: int) -> np.ndarray:
             if i in self.disabled:

@@ -36,6 +36,7 @@ from ..common.timing import PhaseTimer
 from ..dd.decomposition import Decomposition
 from ..dd.problem import Problem
 from ..fem.forms import Form
+from ..kernels import get_backend
 from ..krylov import (
     KrylovResult,
     SolveProfiler,
@@ -151,6 +152,15 @@ class SchwarzSolver:
         Default :class:`repro.resilience.RecoveryPolicy` (or a mode
         string ``"off"``/``"restart"``/``"degrade"``) used by
         :meth:`solve`; see ``docs/resilience.md``.
+    kernel_backend:
+        Kernel backend name (``"numpy"``, ``"fp32"``, ``"compiled"``) or
+        a ready :class:`~repro.kernels.KernelBackend` instance.  ``None``
+        resolves ``REPRO_KERNEL_BACKEND`` and falls back to the bitwise
+        reference ``numpy`` backend.  Owns the hot kernels of the solve
+        phase: local/coarse triangular solves, the fused RAS apply, the
+        CSR deflation products and the Krylov orthogonalisation — see
+        ``docs/performance.md``.  (This is distinct from *backend* /
+        *coarse_backend*, which pick the sparse factorization method.)
     """
 
     def __init__(self, mesh: SimplexMesh, form: Form, *,
@@ -165,7 +175,8 @@ class SchwarzSolver:
                  scaling: str | None = "jacobi",
                  seed: int = 0,
                  parallel: ParallelConfig | str | None = None,
-                 recorder=None, faults=None, recovery=None):
+                 recorder=None, faults=None, recovery=None,
+                 kernel_backend: str | None = None):
         from ..obs.recorder import NULL_RECORDER
         if levels not in (1, 2):
             raise ReproError(f"levels must be 1 or 2, got {levels}")
@@ -184,6 +195,8 @@ class SchwarzSolver:
         self.recorder = NULL_RECORDER if recorder is None else recorder
         self.timer = PhaseTimer(recorder=self.recorder)
         self.parallel = resolve_parallel(parallel)
+        #: kernel backend shared by every component of the solve phase
+        self.kernels = get_backend(kernel_backend, recorder=self.recorder)
         #: default recovery policy for :meth:`solve` (overridable per call)
         self.recovery = resolve_recovery(recovery)
         #: shared fault injector (a FaultPlan / plan path / injector)
@@ -217,7 +230,8 @@ class SchwarzSolver:
             self.decomposition = Decomposition(self.problem, part,
                                                delta=delta,
                                                parallel=self.parallel,
-                                               recorder=self.recorder)
+                                               recorder=self.recorder,
+                                               kernels=self.kernels)
 
         with self.timer.phase("factorization"):
             one_level_cls = OneLevelASM if preconditioner in ("asm", "bnn") \
@@ -225,7 +239,8 @@ class SchwarzSolver:
             self.one_level = one_level_cls(self.decomposition,
                                            backend=backend,
                                            parallel=self.parallel,
-                                           recorder=self.recorder)
+                                           recorder=self.recorder,
+                                           kernels=self.kernels)
 
         self.deflation: DeflationSpace | None = None
         self.coarse: CoarseOperator | None = None
@@ -258,12 +273,14 @@ class SchwarzSolver:
                     recorder=self.recorder, label="geneo")
                 self.geneo_results = results
                 self.deflation = DeflationSpace(
-                    self.decomposition, [r.W for r in results])
+                    self.decomposition, [r.W for r in results],
+                    kernels=self.kernels)
             with self.timer.phase("coarse"):
                 self.coarse = CoarseOperator(self.deflation,
                                              backend=coarse_backend,
                                              parallel=self.parallel,
-                                             recorder=self.recorder)
+                                             recorder=self.recorder,
+                                             kernels=self.kernels)
             if preconditioner == "adef1":
                 self.preconditioner = TwoLevelADEF1(self.one_level,
                                                     self.coarse)
@@ -339,6 +356,8 @@ class SchwarzSolver:
         self.one_level.injector = injector
         kwargs = dict(tol=tol, maxiter=maxiter,
                       callback=callback, profiler=profiler)
+        if self.krylov_name in ("gmres", "fgmres"):
+            kwargs["kernels"] = self.kernels
         if self.krylov_name in _RESTARTED:
             kwargs["restart"] = restart
         elif self.krylov_name == "sstep":

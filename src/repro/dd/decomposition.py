@@ -22,6 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..common.errors import DecompositionError
+from ..common.validation import as_float64_block
 from ..fem.space import FunctionSpace
 from ..mesh import SimplexMesh
 from ..parallel import ParallelConfig, parallel_map, resolve_parallel
@@ -90,11 +91,16 @@ class Decomposition:
         as spans (``build_subdomains``, ``apply_scaling``,
         ``build_exchange``) and counts every distributed matvec under
         the ``matvecs`` counter.
+    kernels:
+        Optional :class:`~repro.kernels.KernelBackend` owning the
+        overlap-exchange kernel; ``None`` uses the reference ``numpy``
+        backend (identical operations).
     """
 
     def __init__(self, problem: Problem, part: np.ndarray, delta: int = 1,
                  *, parallel: ParallelConfig | str | None = None,
-                 recorder=None):
+                 recorder=None, kernels=None):
+        from ..kernels import default_backend
         from ..obs.recorder import NULL_RECORDER
         part = np.asarray(part, dtype=np.int64)
         if part.shape != (problem.mesh.num_cells,):
@@ -109,6 +115,7 @@ class Decomposition:
         self.parallel = resolve_parallel(parallel)
         self.num_subdomains = int(part.max()) + 1
         self.recorder = NULL_RECORDER if recorder is None else recorder
+        self.kernels = default_backend() if kernels is None else kernels
         #: number of distributed A·x products performed (the solve-phase
         #: SpMV counter — the fast A-DEF1 apply path must not move it)
         self.matvecs = 0
@@ -283,14 +290,11 @@ class Decomposition:
         """y_i = Σ_{j ∈ Ō_i} R_i R_jᵀ x_j  (the j = i term is x_i itself).
 
         This is the communication pattern of one global sparse
-        matrix–vector product (peer-to-peer transfers on the overlap).
+        matrix–vector product (peer-to-peer transfers on the overlap);
+        the loop itself lives in the kernel backend
+        (:meth:`repro.kernels.KernelBackend.exchange_sum`).
         """
-        subs = self.subdomains
-        out = [x.copy() for x in x_list]
-        for s in subs:
-            for j in s.neighbors:
-                out[s.index][s.shared[j]] += x_list[j][subs[j].shared[s.index]]
-        return out
+        return self.kernels.exchange_sum(self.subdomains, x_list)
 
     def matvec_local(self, x_list: list[np.ndarray]) -> list[np.ndarray]:
         """(Ax)_i from purely local data: eq. (5),
@@ -321,9 +325,7 @@ class Decomposition:
         the shared-dof row indexing broadcasts over columns).  Counts as
         k distributed matvecs.
         """
-        if X.ndim != 2:
-            raise DecompositionError(
-                f"matvec_block expects a column block, got ndim={X.ndim}")
+        X = as_float64_block(X, "matvec_block", DecompositionError)
         k = X.shape[1]
         self.matvecs += k
         if self.recorder.enabled:

@@ -1,0 +1,86 @@
+"""The ``compiled`` kernel backend: fp64 compiled hot loops.
+
+Full double precision everywhere — numerically interchangeable with the
+reference backend up to factorization ordering — but the RAS local
+solves run through the symmetric-mode LDLᵀ factor (4–5× fewer factor
+nonzeros than the default COLAMD LU) applied by the compiled C kernels
+with fused permutation/gather/scatter, and the coarse solve through the
+same compiled path.
+
+This backend is only constructible when the kernel library builds (a C
+toolchain on the host); :func:`repro.kernels.get_backend` degrades to
+``numpy`` with a logged warning otherwise — the graceful-fallback
+pattern of optional native bridges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..common.errors import SolverError
+from ..solvers.local import factorize
+from .base import KernelBackend
+from .csrc import load_library
+from .factor import (
+    FusedLocalApply,
+    PlainLocalApply,
+    SymmetricLDLFactorization,
+    probe_factorization,
+)
+from .fp32 import make_ldl_coarse_solve
+
+#: fp64 LDLᵀ of an SPD matrix should be near machine precision; a loose
+#: miss means symmetric no-pivot mode was the wrong tool for this matrix
+LOCAL_PROBE_TOL = 1e-8
+
+
+class CompiledBackend(KernelBackend):
+    """fp64 backend with compiled LDLᵀ solves and fused RAS apply."""
+
+    name = "compiled"
+    precision = "fp64"
+    compiled = True
+
+    def __init__(self, recorder=None):
+        super().__init__(recorder)
+        lib = load_library()
+        if lib is None:  # pragma: no cover - guarded by the registry
+            from .registry import BackendUnavailable
+            raise BackendUnavailable("compiled kernel library unavailable")
+        self._lib = lib
+
+    def factorize_local(self, A, method: str = "superlu",
+                        shift: float = 0.0):
+        if shift:
+            A = (sp.csr_matrix(A)
+                 + shift * sp.eye(A.shape[0], format="csr"))
+        try:
+            fact = SymmetricLDLFactorization(A, dtype=np.float64,
+                                             lib=self._lib)
+            if probe_factorization(fact, A, LOCAL_PROBE_TOL):
+                return fact
+        except SolverError:
+            pass
+        if self.recorder.enabled:
+            self.recorder.add("kernel.compiled_fallbacks", 1)
+        return factorize(A, method)
+
+    def fuse_ras(self, factorizations, subdomains):
+        handles = []
+        for fact, s in zip(factorizations, subdomains):
+            if isinstance(fact, SymmetricLDLFactorization) \
+                    and fact._lib is not None:
+                handles.append(FusedLocalApply(fact, s.dofs, s.d))
+            else:
+                handles.append(PlainLocalApply(fact, s.dofs, s.d))
+        return handles
+
+    def note_ras_apply(self, total_local_dofs: int,
+                       columns: int = 1) -> None:
+        if self.recorder.enabled:
+            self.recorder.add("kernel.compiled_local_applies", columns)
+
+    def make_coarse_solve(self, coarse):
+        return make_ldl_coarse_solve(self, coarse, np.float64,
+                                     LOCAL_PROBE_TOL)

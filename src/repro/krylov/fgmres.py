@@ -25,8 +25,15 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
            tol: float = 1e-6, restart: int = 40, maxiter: int = 1000,
            callback=None,
            profiler: SolveProfiler | None = None,
-           health=None) -> KrylovResult:
-    """Flexible restarted GMRES; *M* may change between applications."""
+           health=None, kernels=None) -> KrylovResult:
+    """Flexible restarted GMRES; *M* may change between applications.
+
+    *kernels* selects the orthogonalisation kernel backend
+    (:mod:`repro.kernels`); ``None`` is the bitwise-reference ``numpy``
+    backend.
+    """
+    from ..kernels import default_backend
+    kern = default_backend() if kernels is None else kernels
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     if restart < 1:
@@ -81,15 +88,8 @@ def fgmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
             Zs[:, j] = M_mul(V[:, j])
             w = A_mul(Zs[:, j])
             with prof.phase("orthogonalization"):
-                for i in range(j + 1):
-                    H[i, j] = float(w @ V[:, i])
-                    np.multiply(V[:, i], H[i, j], out=scratch)
-                    np.subtract(w, scratch, out=w)
-                syncs += 1
-                H[j + 1, j] = float(np.linalg.norm(w))
-                syncs += 1
+                syncs += kern.ortho_step(V, w, H, j, scratch)
                 if H[j + 1, j] > 0:
-                    np.divide(w, H[j + 1, j], out=V[:, j + 1])
                     if health is not None and j > 0:
                         health.check_vector("basis", V[:, j + 1], total_it)
                         health.orthogonality(

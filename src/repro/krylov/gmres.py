@@ -59,7 +59,14 @@ class KrylovResult:
 
 def _as_operator(op, n: int, name: str):
     """Accept a callable, a scipy sparse matrix or a dense array;
-    matrix-like operands are validated against the system size *n*."""
+    matrix-like operands are validated against the system size *n*.
+
+    Dtype contract: complex operators are rejected (the drivers are
+    real-valued), and a reduced-precision matrix (e.g. float32) is
+    wrapped so its products are upcast to float64 — the iterates the
+    drivers hand back are always float64, whatever the operator's
+    storage precision.
+    """
     if op is None:
         return lambda x: x
     if callable(op):
@@ -69,6 +76,15 @@ def _as_operator(op, n: int, name: str):
     if shape is not None and tuple(shape) != (n, n):
         raise KrylovError(
             f"operator {name} has shape {tuple(shape)}, expected ({n}, {n})")
+    dtype = getattr(matrix, "dtype", None)
+    if dtype is not None and np.issubdtype(dtype, np.complexfloating):
+        raise KrylovError(
+            f"operator {name} has complex dtype {dtype}; the Krylov "
+            f"drivers are real-valued")
+    if dtype is not None and dtype != np.float64:
+        def mul(x, _m=matrix):
+            return np.asarray(_m @ x, dtype=np.float64)
+        return mul
 
     def mul(x, _m=matrix):
         return _m @ x
@@ -80,7 +96,8 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
           tol: float = 1e-6, restart: int = 40, maxiter: int = 1000,
           callback=None, raise_on_stall: bool = False,
           profiler: SolveProfiler | None = None,
-          health=None, keep_basis: bool = False) -> KrylovResult:
+          health=None, keep_basis: bool = False,
+          kernels=None) -> KrylovResult:
     """Right-preconditioned restarted GMRES: solve ``A (M y) = b``,
     ``x = M y``.
 
@@ -112,7 +129,13 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         When True, attach the last cycle's Arnoldi data (basis V and the
         untransformed Hessenberg H̄) to :attr:`KrylovResult.basis` for a
         posteriori Ritz harvesting (subspace recycling).
+    kernels:
+        Optional :class:`~repro.kernels.KernelBackend` owning the
+        orthogonalisation kernel; ``None`` uses the reference ``numpy``
+        backend (bitwise-identical to the historical inline MGS).
     """
+    from ..kernels import default_backend
+    kern = default_backend() if kernels is None else kernels
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     if restart < 1:
@@ -179,17 +202,11 @@ def gmres(A, b: np.ndarray, *, M=None, x0: np.ndarray | None = None,
         j_done = 0
         for j in range(m):
             w = A_mul(M_mul(V[:, j]))
-            # modified Gram–Schmidt; one batched reduction + one norm
+            # Gram–Schmidt through the kernel backend (reference: MGS,
+            # one batched reduction + one norm)
             with prof.phase("orthogonalization"):
-                for i in range(j + 1):
-                    H[i, j] = float(w @ V[:, i])
-                    np.multiply(V[:, i], H[i, j], out=scratch)
-                    np.subtract(w, scratch, out=w)
-                syncs += 1
-                H[j + 1, j] = float(np.linalg.norm(w))
-                syncs += 1
+                syncs += kern.ortho_step(V, w, H, j, scratch)
                 if H[j + 1, j] > 0:
-                    np.divide(w, H[j + 1, j], out=V[:, j + 1])
                     if health is not None and j > 0:
                         health.check_vector("basis", V[:, j + 1], total_it)
                         health.orthogonality(

@@ -94,6 +94,8 @@ class SparseLDL:
         self._factorize(Alow)
         self._Lcsr = self.L.tocsr()
         self._LTcsr = self.L.T.tocsr()
+        #: compiled in-place LDLᵀ solve (see :meth:`enable_compiled_solve`)
+        self._compiled = None
 
     def _factorize(self, Alow: sp.csr_matrix) -> None:
         n = self.n
@@ -153,11 +155,63 @@ class SparseLDL:
         self.L = sp.csc_matrix((vals, rows, indptr_L), shape=(n, n))
 
     # ------------------------------------------------------------------
+    def enable_compiled_solve(self, lib=None) -> bool:
+        """Export the factor to the compiled kernel layout and route
+        every subsequent :meth:`solve` through it.
+
+        The factor is stored diag-less (unit diagonal implied) with D
+        separate; the C kernel (:mod:`repro.kernels.csrc`) wants the
+        SuperLU convention — CSC with the diagonal entry first in every
+        column plus an inverse-diagonal array — so the hook materialises
+        that layout once (explicit unit diagonal spliced in per column,
+        ``dinv = 1/D``).  Returns ``False``, leaving the pure-scipy
+        solve in place, when no compiled library is available.
+        """
+        if lib is None:
+            from ..kernels.csrc import load_library
+            lib = load_library()
+        if lib is None:
+            return False
+        import ctypes as ct
+        n = self.n
+        L = self.L
+        indptr = np.ascontiguousarray(L.indptr + np.arange(n + 1),
+                                      dtype=np.int32)
+        rowind = np.ascontiguousarray(
+            np.insert(L.indices, L.indptr[:-1], np.arange(n)),
+            dtype=np.int32)
+        lval = np.ascontiguousarray(
+            np.insert(L.data, L.indptr[:-1], 1.0), dtype=np.float64)
+        dinv = np.ascontiguousarray(1.0 / self.D)
+
+        def p(a):
+            return a.ctypes.data_as(ct.POINTER(
+                ct.c_int32 if a.dtype == np.int32 else ct.c_double))
+
+        fn = lib.ldl_solve_f64
+        args = (p(indptr), p(rowind), p(lval), p(dinv))
+        n_ct = ct.c_int32(n)
+        arrays = (indptr, rowind, lval, dinv)   # pin array lifetimes
+
+        def run(z: np.ndarray) -> None:
+            fn(*args, p(z), n_ct)
+
+        self._compiled = (run, arrays)
+        return True
+
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` (b may be a matrix of right-hand sides)."""
         b = np.asarray(b, dtype=np.float64)
         squeeze = b.ndim == 1
         B = b.reshape(self.n, -1)
+        if self._compiled is not None:
+            run = self._compiled[0]
+            out = np.empty_like(B)
+            for c in range(B.shape[1]):
+                z = np.ascontiguousarray(B[self.perm, c])
+                run(z)
+                out[self.perm, c] = z
+            return out[:, 0] if squeeze else out
         Bp = B[self.perm]
         Y = sp.linalg.spsolve_triangular(self._Lcsr, Bp, lower=True,
                                          unit_diagonal=True)

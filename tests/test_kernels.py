@@ -1,0 +1,526 @@
+"""The kernel-backend registry and its three built-in backends.
+
+The load-bearing guarantees pinned here:
+
+* the ``numpy`` backend performs **bitwise** the operations the
+  historical inlined code performed (MGS, blocked CGS2, the overlap
+  exchange, the RAS combine);
+* the ``fp32`` backend converges to the same fp64 tolerance with a
+  bounded iteration penalty, and accounts its precision round-trips;
+* the ``compiled`` backend is numerically interchangeable with the
+  reference and degrades to ``numpy`` when the library is absent;
+* the block plumbing enforces the documented dtype contract.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import SchwarzSolver
+from repro.common.errors import KrylovError, ReproError
+from repro.common.validation import as_float64_block
+from repro.core.coarse import CoarseOperator
+from repro.core.deflation import DeflationSpace
+from repro.core.geneo import compute_deflation
+from repro.core.ras import OneLevelRAS
+from repro.fem import channels_and_inclusions
+from repro.fem.forms import DiffusionForm
+from repro.kernels import (
+    ENV_VAR,
+    BackendUnavailable,
+    CompiledBackend,
+    Fp32Backend,
+    KernelBackend,
+    available_backends,
+    backend_names,
+    default_backend,
+    get_backend,
+    register,
+)
+from repro.kernels.csrc import load_library
+from repro.kernels.factor import (
+    FusedLocalApply,
+    SymmetricLDLFactorization,
+    probe_factorization,
+)
+from repro.kernels.registry import _FACTORIES
+from repro.krylov import fgmres, gmres
+from repro.mesh import unit_square
+from repro.obs import Recorder
+from repro.resilience import HealthMonitor
+from repro.solvers.ldl import SparseLDL
+
+HAS_LIB = load_library() is not None
+
+
+def _spd(n, rng, density=0.3):
+    A = sp.random(n, n, density=density, random_state=rng.integers(1 << 30))
+    A = A + A.T + n * sp.eye(n)
+    return sp.csr_matrix(A)
+
+
+# ----------------------------------------------------------------------
+# Registry behaviour
+# ----------------------------------------------------------------------
+
+def test_builtin_backends_registered():
+    assert {"numpy", "fp32", "compiled"} <= set(backend_names())
+
+
+def test_get_backend_default_is_numpy(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert get_backend().name == "numpy"
+    assert type(get_backend()) is KernelBackend
+
+
+def test_get_backend_env_var(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "fp32")
+    assert get_backend().name == "fp32"
+    # an explicit argument wins over the environment
+    assert get_backend("numpy").name == "numpy"
+
+
+def test_get_backend_unknown_name():
+    with pytest.raises(ReproError, match="unknown kernel backend"):
+        get_backend("no-such-backend")
+
+
+def test_get_backend_instance_passthrough():
+    inst = Fp32Backend()
+    assert get_backend(inst) is inst
+
+
+def test_register_and_unavailable_fallback(monkeypatch):
+    @register("_test_broken")
+    def _factory(recorder):
+        raise BackendUnavailable("probe failed on purpose")
+
+    try:
+        with pytest.warns(RuntimeWarning, match="falling back to 'numpy'"):
+            backend = get_backend("_test_broken")
+        assert backend.name == "numpy"
+        assert any("probe failed on purpose" in n for n in backend.notes)
+    finally:
+        _FACTORIES.pop("_test_broken", None)
+
+
+def test_compiled_unavailable_degrades(monkeypatch):
+    import repro.kernels.compiled as mod
+    monkeypatch.setattr(mod, "load_library", lambda: None)
+    with pytest.warns(RuntimeWarning, match="unavailable"):
+        backend = get_backend("compiled")
+    assert backend.name == "numpy"
+
+
+def test_available_backends_table():
+    table = available_backends()
+    assert table["numpy"]["available"] is True
+    assert table["fp32"]["precision"] == "mixed"
+    for row in table.values():
+        assert {"name", "available"} <= set(row)
+
+
+def test_default_backend_is_shared_singleton():
+    assert default_backend() is default_backend()
+    assert default_backend().name == "numpy"
+
+
+# ----------------------------------------------------------------------
+# Bitwise regression: the numpy backend IS the historical code
+# ----------------------------------------------------------------------
+
+def test_ortho_step_bitwise_mgs(rng):
+    """numpy ortho_step == the pre-registry inlined MGS, bit for bit."""
+    n, m = 200, 8
+    kern = KernelBackend()
+    V = np.zeros((n, m + 1))
+    H = np.zeros((m + 1, m))
+    Vr, Hr = V.copy(), H.copy()
+    v0 = rng.standard_normal(n)
+    V[:, 0] = Vr[:, 0] = v0 / np.linalg.norm(v0)
+    scratch = np.empty(n)
+    for j in range(m):
+        w = rng.standard_normal(n)
+        wr = w.copy()
+        syncs = kern.ortho_step(V, w, H, j, scratch)
+        assert syncs == 2
+        # the historical inline loop, verbatim
+        for i in range(j + 1):
+            Hr[i, j] = float(wr @ Vr[:, i])
+            np.multiply(Vr[:, i], Hr[i, j], out=scratch)
+            np.subtract(wr, scratch, out=wr)
+        Hr[j + 1, j] = float(np.linalg.norm(wr))
+        if Hr[j + 1, j] > 0:
+            np.divide(wr, Hr[j + 1, j], out=Vr[:, j + 1])
+    assert np.array_equal(H, Hr)
+    assert np.array_equal(V, Vr)
+
+
+def test_ortho_block_bitwise_cgs2(rng):
+    """numpy ortho_block == the pre-registry blocked CGS2, bit for bit."""
+    n, k, p = 150, 12, 3
+    kern = KernelBackend()
+    Vb, _ = np.linalg.qr(rng.standard_normal((n, k)))
+    Vb = np.ascontiguousarray(Vb)
+    W = rng.standard_normal((n, p))
+
+    def qr_block(M):
+        return np.linalg.qr(M)
+
+    Hcol, Vnew, Hdiag = kern.ortho_block(Vb, k, W.copy(), qr_block)
+    # reference: two classical Gram–Schmidt sweeps then QR, verbatim
+    C1 = Vb[:, :k].T @ W
+    Wr = W - Vb[:, :k] @ C1
+    C2 = Vb[:, :k].T @ Wr
+    Wr = Wr - Vb[:, :k] @ C2
+    Vr, Hr = qr_block(Wr)
+    assert np.array_equal(Hcol, C1 + C2)
+    assert np.array_equal(Vnew, Vr)
+    assert np.array_equal(Hdiag, Hr)
+
+
+def test_exchange_sum_bitwise(diffusion_decomposition, rng):
+    dec = diffusion_decomposition
+    x_list = [rng.standard_normal(s.size) for s in dec.subdomains]
+    got = dec.exchange_sum(x_list)
+    # the pre-registry inline loop, verbatim
+    ref = [x.copy() for x in x_list]
+    for s in dec.subdomains:
+        for j in s.neighbors:
+            ref[s.index][s.shared[j]] += \
+                x_list[j][dec.subdomains[j].shared[s.index]]
+    for g, r in zip(got, ref):
+        assert np.array_equal(g, r)
+
+
+def test_ras_apply_bitwise_on_numpy(diffusion_decomposition, rng):
+    """The numpy backend keeps the legacy solve-then-combine path:
+    apply == combine(per-subdomain solves), bit for bit."""
+    dec = diffusion_decomposition
+    ras = OneLevelRAS(dec, kernels=KernelBackend())
+    assert ras._fused is None
+    r = rng.standard_normal(dec.problem.num_free)
+    got = ras.apply(r)
+    sols = [f.solve(r[s.dofs])
+            for f, s in zip(ras.factorizations, dec.subdomains)]
+    assert np.array_equal(got, dec.combine(sols))
+
+
+def test_gmres_default_kernels_matches_explicit(diffusion_decomposition):
+    dec = diffusion_decomposition
+    b = dec.problem.rhs()
+    ras = OneLevelRAS(dec)
+    r1 = gmres(dec.matvec, b, M=ras.apply, tol=1e-8)
+    r2 = gmres(dec.matvec, b, M=ras.apply, tol=1e-8,
+               kernels=KernelBackend())
+    assert np.array_equal(r1.x, r2.x)
+    assert r1.iterations == r2.iterations
+
+
+# ----------------------------------------------------------------------
+# Symmetric LDLᵀ factorization + fused handles
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("dtype,tol", [(np.float64, 1e-12),
+                                       (np.float32, 1e-5)])
+def test_symmetric_ldl_scipy_path(rng, dtype, tol):
+    A = _spd(60, rng)
+    fact = SymmetricLDLFactorization(A, dtype=dtype, lib=None)
+    b = rng.standard_normal(60)
+    x = fact.solve(b)
+    assert x.dtype == np.float64
+    assert np.linalg.norm(A @ x - b) <= tol * np.linalg.norm(b)
+
+
+@pytest.mark.skipif(not HAS_LIB, reason="no C toolchain")
+@pytest.mark.parametrize("dtype,tol", [(np.float64, 1e-12),
+                                       (np.float32, 1e-5)])
+def test_symmetric_ldl_compiled_path(rng, dtype, tol):
+    A = _spd(60, rng)
+    fact = SymmetricLDLFactorization(A, dtype=dtype, lib=load_library())
+    b = rng.standard_normal(60)
+    x = fact.solve(b)
+    assert np.linalg.norm(A @ x - b) <= tol * np.linalg.norm(b)
+    B = rng.standard_normal((60, 4))
+    X = fact.solve(B)
+    assert X.shape == (60, 4)
+    for c in range(4):
+        assert np.array_equal(X[:, c], fact.solve(B[:, c]))
+
+
+def test_probe_factorization_rejects_garbage(rng):
+    A = _spd(40, rng)
+
+    class Broken:
+        def solve(self, b):
+            return np.full_like(b, np.nan)
+
+    class Wrong:
+        def solve(self, b):
+            return b * 3.0
+
+    good = SymmetricLDLFactorization(A, dtype=np.float64, lib=None)
+    assert probe_factorization(good, A, 1e-10)
+    assert not probe_factorization(Broken(), A, 1e-2)
+    assert not probe_factorization(Wrong(), A, 1e-2)
+
+
+@pytest.mark.skipif(not HAS_LIB, reason="no C toolchain")
+def test_fused_local_apply_matches_plain(rng):
+    n_glob, n_loc = 120, 40
+    A = _spd(n_loc, rng)
+    dofs = rng.choice(n_glob, size=n_loc, replace=False).astype(np.int64)
+    d = rng.random(n_loc)
+    fact = SymmetricLDLFactorization(A, dtype=np.float32,
+                                     lib=load_library())
+    h = FusedLocalApply(fact, dofs, d)
+    r = rng.standard_normal(n_glob)
+    out = np.zeros(n_glob)
+    h.apply_weighted(r, out)
+    ref = np.zeros(n_glob)
+    ref[dofs] += d * fact.solve(r[dofs])
+    assert np.allclose(out, ref, atol=1e-5 * np.abs(ref).max())
+
+
+@pytest.mark.skipif(not HAS_LIB, reason="no C toolchain")
+def test_sparse_ldl_compiled_hook(rng):
+    A = _spd(50, rng)
+    ref = SparseLDL(A)
+    b = rng.standard_normal(50)
+    x_ref = ref.solve(b)
+    hooked = SparseLDL(A)
+    assert hooked.enable_compiled_solve()
+    x = hooked.solve(b)
+    assert np.allclose(x, x_ref, rtol=1e-12, atol=1e-12 * np.abs(x_ref).max())
+    B = rng.standard_normal((50, 3))
+    assert np.allclose(hooked.solve(B), ref.solve(B), rtol=1e-12)
+
+
+def test_sparse_ldl_hook_absent_library(rng, monkeypatch):
+    import repro.kernels.csrc as csrc
+    monkeypatch.setattr(csrc, "load_library", lambda: None)
+    A = _spd(20, rng)
+    f = SparseLDL(A)
+    assert not f.enable_compiled_solve()
+    b = rng.standard_normal(20)
+    assert np.linalg.norm(A @ f.solve(b) - b) <= 1e-10 * np.linalg.norm(b)
+
+
+# ----------------------------------------------------------------------
+# fp32 / compiled end-to-end accuracy, convergence and accounting
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_problem():
+    mesh = unit_square(20)
+    form = DiffusionForm(degree=2, kappa=channels_and_inclusions(mesh,
+                                                                 seed=2))
+    return mesh, form
+
+
+def _solve(mesh, form, backend, recorder=None, **kw):
+    solver = SchwarzSolver(mesh, form, num_subdomains=6, nev=6,
+                           kernel_backend=backend, recorder=recorder, **kw)
+    return solver, solver.solve(tol=1e-8)
+
+
+def test_backend_accuracy_and_iteration_budget(small_problem):
+    mesh, form = small_problem
+    _, ref = _solve(mesh, form, "numpy")
+    assert ref.converged
+    xnorm = np.linalg.norm(ref.x)
+    for name, xtol, it_budget in (("compiled", 1e-9, 1),
+                                  ("fp32", 1e-5, 10)):
+        _, rep = _solve(mesh, form, name)
+        assert rep.converged, name
+        assert np.linalg.norm(rep.x - ref.x) <= xtol * xnorm, name
+        assert rep.iterations <= ref.iterations + it_budget, name
+
+
+def test_fp32_round_trip_counters(small_problem):
+    mesh, form = small_problem
+    rec = Recorder()
+    solver, rep = _solve(mesh, form, "fp32", recorder=rec)
+    assert rep.converged
+    assert solver.kernels.name == "fp32"
+    c = rec.counters
+    assert c.get("kernel.fp32_ortho_steps", 0) >= rep.iterations
+    assert c.get("kernel.fp32_bytes_down", 0) > 0
+    # local applies and the coarse solve happen once per iteration-ish
+    assert c.get("kernel.fp32_local_applies", 0) > 0 or \
+        c.get("kernel.fp32_fallbacks", 0) > 0
+    if HAS_LIB:
+        assert c.get("kernel.fp32_bytes_up", 0) > 0
+
+
+def test_fp32_block_and_recycled_paths(small_problem):
+    mesh, form = small_problem
+    solver = SchwarzSolver(mesh, form, num_subdomains=6, nev=6,
+                           kernel_backend="fp32")
+    sess = solver.session()
+    b = solver.problem.rhs()
+    B = np.column_stack([b, 0.5 * b])
+    batch = sess.solve_many(B, tol=1e-8)
+    assert batch.converged
+    ref = SchwarzSolver(mesh, form, num_subdomains=6, nev=6).solve(tol=1e-8)
+    assert np.linalg.norm(batch.X[:, 0] - ref.x) \
+        <= 1e-5 * np.linalg.norm(ref.x)
+    rep = sess.solve(b, tol=1e-8)
+    assert rep.converged
+
+
+def test_fp32_coarse_fallback_on_nonfinite(small_problem):
+    """A non-finite reduced-precision coarse solve must drop the kernel
+    mirror and retry fp64 before escalating to the pseudo-inverse."""
+    mesh, form = small_problem
+    solver = SchwarzSolver(mesh, form, num_subdomains=6, nev=6,
+                           kernel_backend="fp32")
+    coarse = solver.coarse
+    coarse.resilient = True
+    coarse._kernel_solve = lambda w: np.full(coarse.dim, np.nan)
+    w = np.arange(coarse.dim, dtype=np.float64)
+    with pytest.warns(RuntimeWarning, match="retrying fp64"):
+        y = coarse.solve(w)
+    assert np.all(np.isfinite(y))
+    assert coarse._kernel_solve is None
+    assert coarse.fallbacks == 1
+    assert not coarse.rank_deficient      # the fp64 factor was fine
+
+
+def test_env_var_backend_selection(small_problem, monkeypatch):
+    mesh, form = small_problem
+    monkeypatch.setenv(ENV_VAR, "fp32")
+    solver = SchwarzSolver(mesh, form, num_subdomains=4, nev=4)
+    assert solver.kernels.name == "fp32"
+    assert solver.solve(tol=1e-8).converged
+
+
+# ----------------------------------------------------------------------
+# Dtype contract of the block plumbing
+# ----------------------------------------------------------------------
+
+def test_as_float64_block_contract(rng):
+    X32 = rng.standard_normal((10, 3)).astype(np.float32)
+    out = as_float64_block(X32)
+    assert out.dtype == np.float64
+    assert np.array_equal(out, X32.astype(np.float64))
+    X64 = rng.standard_normal((10, 3))
+    assert as_float64_block(X64) is X64          # no copy on the hot path
+    with pytest.raises(ReproError, match="column block"):
+        as_float64_block(np.zeros(10))
+    with pytest.raises(ReproError, match="real block"):
+        as_float64_block(np.zeros((4, 2), dtype=complex))
+
+
+def test_block_plumbing_accepts_float32(diffusion_decomposition, rng):
+    dec = diffusion_decomposition
+    n = dec.problem.num_free
+    X32 = rng.standard_normal((n, 2)).astype(np.float32)
+    Y = dec.matvec_block(X32)
+    assert Y.dtype == np.float64
+    assert np.array_equal(Y, dec.matvec_block(X32.astype(np.float64)))
+    ras = OneLevelRAS(dec)
+    P = ras.apply_block(X32)
+    assert P.dtype == np.float64
+    assert np.array_equal(P, ras.apply_block(X32.astype(np.float64)))
+    results = [compute_deflation(s, nev=3, seed=s.index)
+               for s in dec.subdomains]
+    space = DeflationSpace(dec, [r.W for r in results])
+    W = space.zt_dot_block(X32)
+    assert W.dtype == np.float64
+    assert np.array_equal(W, space.zt_dot_block(X32.astype(np.float64)))
+    Y32 = rng.standard_normal((space.m, 2)).astype(np.float32)
+    Z = space.z_dot_block(Y32)
+    assert Z.dtype == np.float64
+
+
+def test_as_operator_rejects_complex_upcasts_f32(rng):
+    A32 = rng.standard_normal((12, 12)).astype(np.float32)
+    A32 = A32 @ A32.T + 12 * np.eye(12, dtype=np.float32)
+    b = rng.standard_normal(12)
+    res = gmres(A32, b, tol=1e-10)
+    assert res.x.dtype == np.float64
+    assert np.linalg.norm(A32.astype(np.float64) @ res.x - b) \
+        <= 1e-8 * np.linalg.norm(b)
+    with pytest.raises(KrylovError, match="complex"):
+        gmres(A32.astype(complex), b)
+
+
+# ----------------------------------------------------------------------
+# fgmres with a deliberately inexact (fp32, iteration-varying) M
+# ----------------------------------------------------------------------
+
+def test_fgmres_inexact_fp32_preconditioner(diffusion_decomposition):
+    """The satellite scenario: a preconditioner that rounds its output
+    to fp32 *and* changes every application still converges to the fp64
+    tolerance under FGMRES, keeps the health monitor quiet, and the
+    profiler attributes time to the right spans."""
+    dec = diffusion_decomposition
+    ras = OneLevelRAS(dec)
+    b = dec.problem.rhs()
+    calls = {"n": 0}
+
+    def inexact_M(r):
+        calls["n"] += 1
+        y = ras.apply(r).astype(np.float32).astype(np.float64)
+        return y * (1.0 + 1e-4 * (calls["n"] % 3))   # iteration-varying
+
+    health = HealthMonitor()
+    from repro.krylov import SolveProfiler
+    prof = SolveProfiler()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")               # quiet = no warnings
+        res = fgmres(dec.matvec, b, M=inexact_M, tol=1e-10,
+                     health=health, profiler=prof)
+    assert res.converged
+    resid = np.linalg.norm(b - dec.matvec(res.x))
+    assert resid <= 1e-9 * np.linalg.norm(b)
+    assert health.breakdowns == []
+    assert res.profile.get("apply", 0) > 0
+    assert res.profile.get("matvec", 0) > 0
+    assert res.profile.get("orthogonalization", 0) >= 0
+    assert set(res.profile) >= {"apply", "matvec"}
+
+
+def test_fgmres_fp32_kernels_with_health(diffusion_decomposition):
+    dec = diffusion_decomposition
+    ras = OneLevelRAS(dec, kernels=Fp32Backend())
+    b = dec.problem.rhs()
+    health = HealthMonitor()
+    res = fgmres(dec.matvec, b, M=ras.apply, tol=1e-10,
+                 health=health, kernels=Fp32Backend())
+    assert res.converged
+    assert health.breakdowns == []
+    assert np.linalg.norm(b - dec.matvec(res.x)) \
+        <= 1e-9 * np.linalg.norm(b)
+
+
+# ----------------------------------------------------------------------
+# Coarse operator routing
+# ----------------------------------------------------------------------
+
+def test_coarse_operator_kernel_routing(diffusion_decomposition):
+    dec = diffusion_decomposition
+    results = [compute_deflation(s, nev=4, seed=s.index)
+               for s in dec.subdomains]
+    W = [r.W for r in results]
+    ref_space = DeflationSpace(dec, W)
+    ref = CoarseOperator(ref_space)
+    assert ref._kernel_solve is None      # numpy backend: fp64 direct
+    space32 = DeflationSpace(dec, W)
+    c32 = CoarseOperator(space32, kernels=Fp32Backend())
+    assert space32.kernels.name == "fp32"
+    rng = np.random.default_rng(7)
+    w = rng.standard_normal(ref.dim)
+    y64, y32 = ref.solve(w), c32.solve(w)
+    assert np.linalg.norm(y32 - y64) <= 1e-3 * np.linalg.norm(y64)
+    u = rng.standard_normal(dec.problem.num_free)
+    assert np.linalg.norm(c32.correction(u) - ref.correction(u)) \
+        <= 1e-3 * np.linalg.norm(ref.correction(u)) + 1e-12
+    y = rng.standard_normal(ref.dim)
+    assert np.linalg.norm(c32.az_dot(y) - ref.az_dot(y)) \
+        <= 1e-3 * np.linalg.norm(ref.az_dot(y))
