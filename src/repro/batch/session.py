@@ -233,7 +233,10 @@ class SolveSession:
                                     backend=solver.coarse_backend,
                                     parallel=solver.parallel,
                                     recorder=self.recorder,
-                                    kernels=solver.kernels)
+                                    kernels=solver.kernels,
+                                    strategy=getattr(solver,
+                                                     "coarse_strategy",
+                                                     None))
         base = solver.preconditioner
         if isinstance(base, (TwoLevelADEF1, TwoLevelADEF2, TwoLevelBNN)):
             cls = type(base)

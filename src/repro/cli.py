@@ -90,7 +90,8 @@ def cmd_solve(args) -> int:
             partition_method=args.partitioner, dirichlet=clamp,
             seed=args.seed, parallel=parallel, recorder=recorder,
             faults=faults, recovery=args.recovery,
-            kernel_backend=args.backend or None)
+            kernel_backend=args.backend or None,
+            coarse_strategy=args.coarse_strategy or None)
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
     if args.rhs_batch > 1 or args.recycle:
@@ -101,6 +102,7 @@ def cmd_solve(args) -> int:
             ["dofs", solver.problem.space.num_dofs],
             ["subdomains", args.subdomains],
             ["coarse dim", solver.coarse_dim],
+            ["coarse strategy", solver.coarse_strategy.name],
             ["kernel backend", solver.kernels.name],
             ["iterations", report.iterations],
             ["converged", report.converged],
@@ -229,6 +231,20 @@ def cmd_backends(args) -> int:
                 rows, title="repro kernel backends"))
     print(f"\nselection: --backend flag > ${ENV_VAR} "
           f"(currently {os.environ.get(ENV_VAR) or 'unset'}) > numpy")
+    from .core.coarse_strategies import (
+        ENV_VAR as STRAT_ENV,
+        get_strategy,
+        strategy_names,
+    )
+    srows = []
+    for name in strategy_names():
+        row = get_strategy(name).describe()
+        srows.append([name, "yes" if row["exact"] else "no (inner FGMRES)"])
+    print()
+    print(table(["strategy", "exact"], srows,
+                title="repro coarse-solve strategies"))
+    print(f"\nselection: --coarse-strategy flag > ${STRAT_ENV} "
+          f"(currently {os.environ.get(STRAT_ENV) or 'unset'}) > dense")
     return 0
 
 
@@ -337,6 +353,12 @@ def make_parser() -> argparse.ArgumentParser:
                          "(numpy, fp32, compiled; empty = "
                          "$REPRO_KERNEL_BACKEND or numpy — see "
                          "`repro backends` and docs/performance.md)")
+    ps.add_argument("--coarse-strategy", default="",
+                    help="how the coarse problem is solved (dense, "
+                         "sparse, multilevel; empty = "
+                         "$REPRO_COARSE_STRATEGY or dense — "
+                         "multilevel pairs with --krylov fgmres; see "
+                         "docs/performance.md)")
     ps.set_defaults(fn=cmd_solve)
 
     pi = sub.add_parser("info", help="print problem statistics")

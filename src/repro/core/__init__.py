@@ -13,6 +13,16 @@ from .coarse import (
     elect_masters_uniform,
     split_ranges,
 )
+from .coarse_strategies import (
+    CoarseSolveStrategy,
+    DenseStrategy,
+    MultilevelCoarseSolve,
+    MultilevelStrategy,
+    SparseStrategy,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
 from .deflation import DeflationSpace
 from .geneo import GeneoResult, compute_deflation, geneo_pencil, nicolaides_deflation
 from .ras import OneLevelASM, OneLevelRAS
@@ -41,6 +51,14 @@ __all__ = [
     "elect_masters_uniform",
     "elect_masters_nonuniform",
     "split_ranges",
+    "CoarseSolveStrategy",
+    "DenseStrategy",
+    "SparseStrategy",
+    "MultilevelStrategy",
+    "MultilevelCoarseSolve",
+    "get_strategy",
+    "register_strategy",
+    "strategy_names",
     "compute_deflation",
     "nicolaides_deflation",
     "geneo_pencil",

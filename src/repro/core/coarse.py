@@ -27,6 +27,8 @@ from ..common.errors import CoarseSolveError, DecompositionError
 from ..dd.decomposition import Decomposition
 from ..parallel import ParallelConfig, parallel_map
 from ..solvers import factorize
+from .coarse_strategies import get_strategy
+from .coarse_strategies.direct import _PseudoInverse, coo_from_blocks
 from .deflation import DeflationSpace
 
 
@@ -81,22 +83,10 @@ def coarse_blocks(space: DeflationSpace,
     return coarse_blocks_with_T(space, parallel)[0]
 
 
-def _matrix_from_blocks(space: DeflationSpace,
-                        blocks: dict[tuple[int, int], np.ndarray],
-                        ) -> sp.csr_matrix:
-    off = space.offsets
-    rows, cols, vals = [], [], []
-    for (i, j), blk in blocks.items():
-        r = np.repeat(np.arange(off[i], off[i + 1]), blk.shape[1])
-        c = np.tile(np.arange(off[j], off[j + 1]), blk.shape[0])
-        rows.append(r)
-        cols.append(c)
-        vals.append(blk.ravel())
-    E = sp.csr_matrix(
-        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
-        shape=(space.m, space.m))
-    E.sum_duplicates()
-    return E
+#: historical COO assembly route, kept under its old private name (the
+#: ``dense`` strategy's bitwise-reference path lives in
+#: :mod:`repro.core.coarse_strategies.direct`)
+_matrix_from_blocks = coo_from_blocks
 
 
 def assemble_coarse_matrix(space: DeflationSpace,
@@ -175,26 +165,6 @@ def split_ranges(masters: np.ndarray, N: int) -> list[np.ndarray]:
 # Coarse operator driver
 # ----------------------------------------------------------------------
 
-class _PseudoInverse:
-    """Truncated-eigendecomposition solve for (near-)singular E."""
-
-    def __init__(self, E, rank_tol: float):
-        import scipy.linalg as sla
-        w, V = sla.eigh(E.toarray())
-        cut = rank_tol * max(float(w.max()), 1e-300)
-        keep = w > cut
-        self.rank = int(keep.sum())
-        self._V = V[:, keep]
-        self._winv = 1.0 / w[keep]
-        self.n = E.shape[0]
-        self.nnz_factor = self.n * self.rank
-
-    def solve(self, b):
-        c = self._V.T @ b
-        scaled = self._winv[:, None] * c if c.ndim == 2 else self._winv * c
-        return self._V @ scaled
-
-
 class CoarseOperator:
     """Assembled + factorised coarse operator with the §3.2 correction.
 
@@ -225,12 +195,19 @@ class CoarseOperator:
         mirror of E (the fp64 factorization stays as the fallback and
         the resilience path).  When given, the deflation space's CSR
         products are routed through the same backend.
+    strategy:
+        How E y = w is solved — a registry name (``"dense"``,
+        ``"sparse"``, ``"multilevel"``) or a ready
+        :class:`~repro.core.coarse_strategies.CoarseSolveStrategy`
+        instance.  ``None`` resolves ``$REPRO_COARSE_STRATEGY`` and
+        falls back to the bitwise-reference ``dense`` strategy.  See
+        :mod:`repro.core.coarse_strategies`.
     """
 
     def __init__(self, space: DeflationSpace, *, backend: str = "superlu",
                  rank_tol: float = 1e-10,
                  parallel: ParallelConfig | str | None = None,
-                 recorder=None, kernels=None):
+                 recorder=None, kernels=None, strategy=None):
         from ..kernels import default_backend
         from ..obs.recorder import NULL_RECORDER
         self.space = space
@@ -238,9 +215,12 @@ class CoarseOperator:
         if kernels is not None:
             space.kernels = self.kernels
         self.recorder = NULL_RECORDER if recorder is None else recorder
+        #: the :class:`~repro.core.coarse_strategies.CoarseSolveStrategy`
+        self.strategy = get_strategy(strategy)
+        self._backend = backend
         with self.recorder.span("assemble_E"):
             blocks, T = coarse_blocks_with_T(space, parallel)
-            self.E = _matrix_from_blocks(space, blocks)
+            self.E = self.strategy.assemble(space, blocks)
         #: cached T_i = A_i W_i blocks (block column i of A·Z)
         self.T = T
         with self.recorder.span("assemble_AZ"):
@@ -250,11 +230,20 @@ class CoarseOperator:
         self.rank_deficient = False
         self._rank_tol = rank_tol
         with self.recorder.span("factorize_E"):
-            self.factorization = self._robust_factorize(backend, rank_tol)
+            self.factorization = self.strategy.build(self, backend,
+                                                     rank_tol)
         #: optional reduced-precision solve routine from the kernel
-        #: backend (``None`` → use :attr:`factorization` directly)
+        #: backend (``None`` → use :attr:`factorization` directly;
+        #: inexact strategies never get a mirror)
         self._kernel_solve = self.kernels.make_coarse_solve(self)
         self.solves = 0
+        if self.recorder.enabled:
+            self.recorder.gauge("coarse.dim", self.E.shape[0])
+            self.recorder.gauge("coarse.nnz", self.E.nnz)
+            self.recorder.gauge("coarse.nnz_factor", self.nnz_factor())
+            self.recorder.event("coarse.strategy", attrs={
+                "name": self.strategy.name,
+                "exact": bool(getattr(self.factorization, "exact", True))})
         #: optional :class:`~repro.krylov.SolveProfiler` — when attached,
         #: every coarse solve is timed under its ``coarse_solve`` phase
         self.profiler = None
@@ -314,6 +303,11 @@ class CoarseOperator:
         return self._checked_solve(w)
 
     def _checked_solve(self, w: np.ndarray) -> np.ndarray:
+        if self.injector is not None and hasattr(self.factorization,
+                                                 "injector"):
+            # inexact handles run an inner iteration of their own — give
+            # them the injector so level-2 faults land inside the solve
+            self.factorization.injector = self.injector
         y = self.factorization.solve(w) if self._kernel_solve is None \
             else self._kernel_solve(w)
         if self.injector is not None:
@@ -329,10 +323,11 @@ class CoarseOperator:
         return self._fallback_solve(w)
 
     def _fallback_solve(self, w: np.ndarray) -> np.ndarray:
-        """§resilience fallback chain: drop the reduced-precision kernel
-        mirror (if one produced the garbage) and retry the fp64
-        factorization, then rebuild E's solve as a truncated
-        pseudo-inverse; a still-broken solve raises
+        """§resilience fallback chain, strategy-aware: drop the
+        reduced-precision kernel mirror (if one produced the garbage)
+        and retry the fp64 factorization; replace an inexact (multilevel)
+        solve with a sparse-direct rebuild; then rebuild E's solve as a
+        truncated pseudo-inverse; a still-broken solve raises
         :class:`~repro.common.errors.CoarseSolveError` so the solver can
         degrade to one-level-only mode."""
         if self._kernel_solve is not None:
@@ -345,6 +340,25 @@ class CoarseOperator:
             if self.recorder.enabled:
                 self.recorder.event("recovery.coarse_fallback",
                                     attrs={"to": "fp64"})
+            y = self.factorization.solve(w)
+            if self.injector is not None:
+                y = self.injector.fire("coarse_solve", 0, y)
+            if np.all(np.isfinite(y)):
+                return y
+        if not getattr(self.factorization, "exact", True):
+            # an inexact (multilevel) solve went bad — a killed level-2
+            # rank or an unlucky inner breakdown; rebuild the coarse
+            # solve as an exact sparse-direct factorization of the same E
+            self.fallbacks += 1
+            warnings.warn(
+                "multilevel coarse solve produced non-finite values; "
+                "rebuilding as a sparse-direct factorization",
+                RuntimeWarning, stacklevel=3)
+            if self.recorder.enabled:
+                self.recorder.event("recovery.coarse_fallback",
+                                    attrs={"to": "sparse_direct"})
+            self.factorization = get_strategy("sparse").build(
+                self, self._backend, self._rank_tol)
             y = self.factorization.solve(w)
             if self.injector is not None:
                 y = self.injector.fire("coarse_solve", 0, y)

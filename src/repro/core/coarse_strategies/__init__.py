@@ -1,0 +1,90 @@
+"""Pluggable coarse-solve strategies (registry, mirrors ``repro.kernels``).
+
+"How the coarse problem E y = w is solved" is a strategy chosen per
+coarse operator:
+
+``dense``
+    The reference exact factorisation (bitwise-identical to the
+    historical path); at scale this is the paper's dense distributed
+    Cholesky on the masters — the scaling wall.
+``sparse``
+    One-pass CSR assembly from the neighbour-block structure + sparse
+    direct factorisation (connectivity-bounded fill).
+``multilevel``
+    The method applied to itself: level-2 RAS + Nicolaides/GenEO on
+    the subdomain-connectivity graph of E, solved inexactly by a few
+    inner FGMRES iterations (three-level in total).
+
+Selection order for :func:`get_strategy`:
+
+1. an explicit argument (``SchwarzSolver(coarse_strategy=...)``, CLI
+   ``--coarse-strategy``) — a name or a ready
+   :class:`~repro.core.coarse_strategies.base.CoarseSolveStrategy`
+   instance (instances carry options, e.g.
+   ``MultilevelStrategy(inner_iters=4)``);
+2. the ``REPRO_COARSE_STRATEGY`` environment variable;
+3. the reference ``"dense"`` strategy.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ...common.errors import ReproError
+from .base import CoarseSolveStrategy
+from .direct import DenseStrategy, SparseStrategy, csr_from_blocks
+from .multilevel import MultilevelCoarseSolve, MultilevelStrategy
+
+ENV_VAR = "REPRO_COARSE_STRATEGY"
+
+_STRATEGIES: dict[str, type] = {}
+
+
+def register_strategy(name: str, factory=None):
+    """Register *factory* under *name* (usable as a decorator).  The
+    factory takes no arguments and returns a
+    :class:`~repro.core.coarse_strategies.base.CoarseSolveStrategy`."""
+    if factory is None:
+        def deco(f):
+            _STRATEGIES[name] = f
+            return f
+        return deco
+    _STRATEGIES[name] = factory
+    return factory
+
+
+def strategy_names() -> list[str]:
+    return sorted(_STRATEGIES)
+
+
+def get_strategy(spec=None) -> CoarseSolveStrategy:
+    """Resolve a coarse-solve strategy (argument →
+    ``$REPRO_COARSE_STRATEGY`` → ``"dense"``).  A ready
+    :class:`~repro.core.coarse_strategies.base.CoarseSolveStrategy`
+    instance passes through unchanged."""
+    if isinstance(spec, CoarseSolveStrategy):
+        return spec
+    resolved = spec or os.environ.get(ENV_VAR) or "dense"
+    if resolved not in _STRATEGIES:
+        raise ReproError(
+            f"unknown coarse strategy {resolved!r}; "
+            f"expected one of {strategy_names()}")
+    return _STRATEGIES[resolved]()
+
+
+register_strategy("dense", DenseStrategy)
+register_strategy("sparse", SparseStrategy)
+register_strategy("multilevel", MultilevelStrategy)
+
+__all__ = [
+    "CoarseSolveStrategy",
+    "DenseStrategy",
+    "SparseStrategy",
+    "MultilevelStrategy",
+    "MultilevelCoarseSolve",
+    "csr_from_blocks",
+    "register_strategy",
+    "strategy_names",
+    "get_strategy",
+    "ENV_VAR",
+]

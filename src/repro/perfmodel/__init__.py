@@ -1,5 +1,11 @@
 """Performance modelling: α–β machine model + scaling harness."""
 
+from .coarse_costs import (
+    CoarseCost,
+    coarse_problem_shape,
+    scaleout_table,
+    strategy_cost,
+)
 from .extrapolate import PowerLaw, StrongScalingModel, fit_power_law
 from .machine import CURIE, MachineModel
 from .scaling import (
@@ -13,6 +19,10 @@ from .scaling import (
 )
 
 __all__ = [
+    "CoarseCost",
+    "coarse_problem_shape",
+    "strategy_cost",
+    "scaleout_table",
     "PowerLaw",
     "StrongScalingModel",
     "fit_power_law",

@@ -1,0 +1,140 @@
+"""Per-strategy cost models of the coarse solve at paper scale.
+
+The substrate runs N = 8..64 subdomains; the paper runs N = 256..8192,
+where the coarse dimension N·ν makes the *strategy* of the E-solve the
+scaling story (§3.4's closing concern).  This module prices one coarse
+solve (and the one-off factorization) for each registered strategy on
+the α–β machine model, so the benchmarks can print measured-vs-modelled
+tables and extend them to the paper's N:
+
+``dense``
+    Fan-out block Cholesky over the P masters
+    (:class:`repro.solvers.distributed.DistributedCholesky`): dim³/3
+    flops spread over P, but every panel broadcast serialises — the
+    O(P · log P) latency term is exactly why the paper's dense direct
+    solvers stop scaling past ~hundreds of masters.
+``sparse``
+    Distributed sparse direct (the MUMPS-on-masterComm regime): the
+    fill of the factors follows the subdomain connectivity graph, so
+    factorization flops ≈ Σ_r fill(r)² ≈ nnz(L)²/dim and each solve is
+    4·nnz(L) flops plus the same gather/scatter plumbing.
+``multilevel``
+    A fixed budget of inner FGMRES iterations, each one SpMV with E
+    (2·nnz(E)), the level-2 RAS local solves (4·nnz(L₂)) and a tiny
+    dense level-2 correction — O(inner · nnz(E)) work with only
+    log-latency collectives, i.e. one more level of the same algorithm.
+
+Absolute seconds inherit the CURIE calibration; only shape conclusions
+(crossovers, scaling exponents) are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machine import CURIE, MachineModel
+
+
+@dataclass
+class CoarseCost:
+    """Modelled cost of the coarse solve for one (strategy, N) point."""
+
+    strategy: str
+    N: int
+    #: masters (level-2 parts for ``multilevel``)
+    P: int
+    dim: int
+    nnz: int
+    nnz_factor: int
+    #: one-off factorization / setup seconds
+    t_factorize: float
+    #: seconds of ONE coarse solve E⁻¹w
+    t_solve: float
+    #: bytes moved per solve (critical-path, modelled)
+    bytes_solve: float
+
+    def as_row(self) -> list:
+        return [self.strategy, self.N, self.P, self.dim, self.nnz,
+                self.nnz_factor, self.t_factorize, self.t_solve,
+                self.bytes_solve]
+
+
+def coarse_problem_shape(N: int, nev: int,
+                         neighbors: float = 6.0) -> tuple[int, int]:
+    """(dim, nnz) of E at decomposition size *N*: dim = N·ν and one
+    ν×ν block per subdomain pair in contact (fig. 4 sparsity)."""
+    dim = N * nev
+    nnz = int(round(N * (neighbors + 1.0) * nev * nev))
+    return dim, nnz
+
+
+def strategy_cost(strategy: str, N: int, nev: int, *,
+                  num_masters: int | None = None, neighbors: float = 6.0,
+                  fill: float = 12.0, inner_iters: int = 8,
+                  model: MachineModel = CURIE) -> CoarseCost:
+    """Price the coarse solve of *strategy* at decomposition size *N*.
+
+    *fill* is nnz(L)/nnz(E) of the sparse factorization (measured values
+    from the benchmarks can be passed in to calibrate); *inner_iters*
+    the multilevel inner-FGMRES budget.
+    """
+    dim, nnz = coarse_problem_shape(N, nev, neighbors)
+    P = num_masters if num_masters else max(1, N // 8)
+    nnz_l = int(round(fill * nnz))
+    if strategy == "dense":
+        w = max(1.0, dim / P)
+        # P serialised panel rounds: triangle bcast + panel allgather
+        per_panel = (model.collective("bcast", 8.0 * w * w, P)
+                     + model.collective("allgather", 8.0 * w * dim / P, P))
+        t_fact = model.compute(dim ** 3 / (3.0 * P)) + P * per_panel
+        t_solve = model.compute(2.0 * dim * dim / P) \
+            + 2.0 * P * model.collective("bcast", 8.0 * w, P)
+        bytes_solve = 2.0 * 8.0 * dim * np.log2(max(P, 2))
+        return CoarseCost(strategy, N, P, dim, nnz, dim * dim,
+                          t_fact, t_solve, bytes_solve)
+    if strategy == "sparse":
+        t_fact = model.compute(2.0 * nnz_l * nnz_l / max(dim, 1) / P) \
+            + P * model.latency
+        t_solve = model.compute(4.0 * nnz_l / P) \
+            + 2.0 * P * model.latency \
+            + model.collective("gatherv", 8.0 * dim / P, P) \
+            + model.collective("scatterv", 8.0 * dim / P, P)
+        bytes_solve = 2.0 * 8.0 * dim
+        return CoarseCost(strategy, N, P, dim, nnz, nnz_l,
+                          t_fact, t_solve, bytes_solve)
+    if strategy == "multilevel":
+        # level-2 parts own ~N/P blocks each; δ=1 halo ≈ doubles them
+        loc_nnz = 2.0 * fill * nnz / P
+        t_fact = model.compute(2.0 * loc_nnz * loc_nnz
+                               / max(dim / P, 1.0)) \
+            + model.collective("allreduce", 8.0 * P, P)
+        per_iter = model.compute((2.0 * nnz + 4.0 * fill * nnz
+                                  + 2.0 * dim * P / max(P, 1)) / P) \
+            + model.collective("allreduce", 64.0, P) \
+            + model.p2p(8.0 * nev * neighbors, messages=int(neighbors))
+        t_solve = inner_iters * per_iter
+        bytes_solve = inner_iters * (64.0 * np.log2(max(P, 2))
+                                     + 8.0 * nev * neighbors)
+        return CoarseCost(strategy, N, P, dim, nnz,
+                          int(round(2.0 * fill * nnz)) + P * P,
+                          t_fact, t_solve, bytes_solve)
+    raise ValueError(f"unknown strategy {strategy!r} "
+                     f"(expected dense/sparse/multilevel)")
+
+
+def scaleout_table(Ns, nev: int, *,
+                   strategies=("dense", "sparse", "multilevel"),
+                   neighbors: float = 6.0, fill: float = 12.0,
+                   inner_iters: int = 8,
+                   model: MachineModel = CURIE) -> list[CoarseCost]:
+    """Modelled coarse-solve costs for every (N, strategy) pair — the
+    scale-out half of the measured-vs-modelled table (paper N ≥ 1024)."""
+    out = []
+    for N in Ns:
+        for s in strategies:
+            out.append(strategy_cost(s, int(N), nev, neighbors=neighbors,
+                                     fill=fill, inner_iters=inner_iters,
+                                     model=model))
+    return out

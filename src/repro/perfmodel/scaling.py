@@ -166,9 +166,17 @@ class CoarseReport:
 
 def coarse_operator_report(solver: SchwarzSolver, *, num_masters: int,
                            nonuniform: bool = False,
+                           strategy: str = "dense",
                            model: MachineModel = CURIE) -> CoarseReport:
     """Assemble E over the simulated MPI (algorithms 1–2) and report the
-    figure-11 columns with a modelled assembly + factorization time."""
+    figure-11 columns with a modelled assembly + factorization time.
+
+    *strategy* selects the factorization cost model: ``dense`` prices
+    the masters' fan-out Cholesky (dim³/(3P) on the critical path),
+    ``sparse`` the MUMPS-regime sparse direct (Σ fill² ≈ nnz(L)²/dim),
+    ``multilevel`` the level-2 local factorizations of the inexact
+    solve.  The assembly communication is metered, not modelled.
+    """
     from ..core.spmd import assemble_coarse_spmd
     from ..mpi import Meter, run_spmd
     from ..solvers import SparseLDL, reverse_cuthill_mckee
@@ -186,15 +194,33 @@ def coarse_operator_report(solver: SchwarzSolver, *, num_masters: int,
     run_spmd(N, rank_main, meter=meter)
     comm_time = model.model_meter(meter, nranks=max(2, N // num_masters))
     dim_e = solver.coarse_dim
-    # masters factorize dense panels: ~ (dim_e)³/(3P) flops on the
-    # critical path (fan-out Cholesky)
-    fact_time = model.compute(dim_e ** 3 / (3.0 * num_masters))
     # fill of a *sparse* factorization of E (what MUMPS/PWSMP would store)
     E = solver.coarse.E
     ldl = SparseLDL(E, perm=reverse_cuthill_mckee(E),
                     shift=1e-12 * abs(E.diagonal()).max())
+    if strategy == "dense":
+        # masters factorize dense panels: ~ (dim_e)³/(3P) flops on the
+        # critical path (fan-out Cholesky)
+        fact_time = model.compute(dim_e ** 3 / (3.0 * num_masters))
+        nnz_used = ldl.nnz_factor
+    elif strategy == "sparse":
+        fact_time = model.compute(
+            2.0 * ldl.nnz_factor ** 2 / max(dim_e, 1) / num_masters)
+        nnz_used = ldl.nnz_factor
+    elif strategy == "multilevel":
+        from ..core.coarse_strategies import MultilevelCoarseSolve
+        fact = solver.coarse.factorization
+        nnz_used = fact.nnz_factor \
+            if isinstance(fact, MultilevelCoarseSolve) else ldl.nnz_factor
+        # level-2 local factorizations run concurrently over the parts
+        parts = getattr(fact, "num_parts", max(2, N // 8))
+        loc = nnz_used / max(parts, 1)
+        fact_time = model.compute(
+            2.0 * loc * loc / max(dim_e / max(parts, 1), 1.0))
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
     return CoarseReport(
         N=N, P=num_masters, dim_e=dim_e,
         avg_neighbors=float(dec.neighbor_counts().mean()),
-        nnz_factor=ldl.nnz_factor,
+        nnz_factor=nnz_used,
         time=comm_time + fact_time)

@@ -61,6 +61,13 @@ class DistributedCholesky:
             raise SolverError(
                 f"local_rows must have shape ({m}, {self.n}), got "
                 f"{local_rows.shape}")
+        #: bytes this rank received through the factorization collectives
+        #: (panel triangle broadcasts + panel allgathers)
+        self.bytes_factorize = 0
+        #: cumulative bytes received across every :meth:`solve` call
+        self.bytes_solve = 0
+        #: bytes of the most recent :meth:`solve` call
+        self.last_solve_bytes = 0
         self._factorize(local_rows)
 
     # ------------------------------------------------------------------
@@ -89,6 +96,7 @@ class DistributedCholesky:
                 Lpp_b = comm.bcast(Lpp, root=p)
             else:
                 Lpp_b = comm.bcast(None, root=p)
+            self.bytes_factorize += 8 * Lpp_b.size
             # panel solve on my rows strictly below the diagonal block
             if rank > p and self.r1 > self.r0:
                 blk = S[:, c0:c1]
@@ -98,6 +106,8 @@ class DistributedCholesky:
             my_panel = (S[:, c0:c1] if rank > p
                         else np.zeros((0, c1 - c0)))
             panels = comm.allgather(my_panel)
+            self.bytes_factorize += 8 * sum(
+                blk.size for q, blk in enumerate(panels) if q != rank)
             if rank > p:
                 # trailing update: S_r,q -= L_r,p L_q,pᵀ for all q > p
                 Lrp = S[:, c0:c1]
@@ -117,13 +127,24 @@ class DistributedCholesky:
     # ------------------------------------------------------------------
     def solve(self, b_local: np.ndarray) -> np.ndarray:
         """Solve ``E x = b`` with *b* distributed by row blocks; returns
-        this rank's block of x.  Handles one RHS vector."""
+        this rank's block of x.
+
+        *b_local* may be one RHS vector ``(m,)`` or a column block
+        ``(m, k)`` — the whole block goes through ONE pipelined
+        forward/backward sweep (the triangular solves and panel
+        broadcasts amortise over the k columns), which is the multi-RHS
+        property the block Krylov drivers rely on.
+        """
         comm = self.comm
         P = comm.size
         rank = comm.rank
         rs = self.row_starts
         m = self.r1 - self.r0
-        b = np.array(b_local, dtype=np.float64, copy=True).reshape(m)
+        b_local = np.asarray(b_local, dtype=np.float64)
+        single = b_local.ndim == 1
+        k = 1 if single else int(b_local.shape[1])
+        b = np.array(b_local, dtype=np.float64, copy=True).reshape(m, k)
+        bytes0 = self.bytes_solve
 
         # forward: L y = b, pipelined over row blocks
         y_parts = []
@@ -131,7 +152,7 @@ class DistributedCholesky:
             c0, c1 = int(rs[p]), int(rs[p + 1])
             if c1 == c0:
                 comm.bcast(None, root=p)
-                y_parts.append(np.zeros(0))
+                y_parts.append(np.zeros((0, k)))
                 continue
             if rank == p:
                 Lpp = self.L_rows[:, c0:c1]
@@ -139,14 +160,15 @@ class DistributedCholesky:
                 y_p = comm.bcast(y_p, root=p)
             else:
                 y_p = comm.bcast(None, root=p)
+                self.bytes_solve += 8 * y_p.size
             y_parts.append(y_p)
             if rank > p and m:
                 b -= self.L_rows[:, c0:c1] @ y_p
-        y = y_parts[rank] if m else np.zeros(0)
+        y = y_parts[rank] if m else np.zeros((0, k))
 
         # backward: Lᵀ x = y; master q sends L_qpᵀ x_q contributions down
-        acc = np.zeros(m)
-        x_local = np.zeros(m)
+        acc = np.zeros((m, k))
+        x_local = np.zeros((m, k))
         for q in range(P - 1, -1, -1):
             c0, c1 = int(rs[q]), int(rs[q + 1])
             if rank == q and m:
@@ -160,5 +182,8 @@ class DistributedCholesky:
                     contrib = self.L_rows[:, p0:p1].T @ x_local
                     comm.send(contrib, dest=p, tag=40_000 + q)
             elif rank < q and m and int(rs[q + 1]) > int(rs[q]):
-                acc += comm.recv(source=q, tag=40_000 + q)
-        return x_local
+                recv = comm.recv(source=q, tag=40_000 + q)
+                self.bytes_solve += 8 * recv.size
+                acc += recv
+        self.last_solve_bytes = self.bytes_solve - bytes0
+        return x_local[:, 0] if single else x_local

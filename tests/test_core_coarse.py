@@ -140,6 +140,33 @@ class TestMasterElection:
         assert np.array_equal(np.concatenate(ranges), np.arange(N))
         assert all(len(r) >= 1 for r in ranges)
 
+    @pytest.mark.parametrize("elect",
+                             [elect_masters_uniform,
+                              elect_masters_nonuniform])
+    @pytest.mark.parametrize("N,P", [(4, 5), (1, 2), (16, 17), (8, 100)])
+    def test_more_masters_than_ranks_raises(self, elect, N, P):
+        """P > N is a configuration error, not a silent clamp."""
+        with pytest.raises(DecompositionError):
+            elect(N, P)
+
+    @pytest.mark.parametrize("elect",
+                             [elect_masters_uniform,
+                              elect_masters_nonuniform])
+    @pytest.mark.parametrize("N,P", [(10, 3), (17, 4), (100, 7),
+                                     (33, 8), (1000, 13)])
+    def test_indivisible_n_partitions_cleanly(self, elect, N, P):
+        """N not divisible by P: masters strictly increasing, first at
+        rank 0, and the split ranges tile [0, N) without gaps."""
+        masters = elect(N, P)
+        assert masters.shape == (P,)
+        assert masters[0] == 0
+        assert np.all(np.diff(masters) >= 1)
+        assert masters[-1] < N
+        ranges = split_ranges(masters, N)
+        assert np.array_equal(np.concatenate(ranges), np.arange(N))
+        sizes = [len(r) for r in ranges]
+        assert min(sizes) >= 1 and sum(sizes) == N
+
 
 class TestCoarseOperator:
     def test_correction_matches_explicit(self, space, rng):
