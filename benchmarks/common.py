@@ -75,8 +75,32 @@ def write_json(name: str, payload: dict) -> None:
 
 def write_tracked_json(name: str, payload: dict) -> None:
     """Like :func:`write_json` but to the tracked repo-root
-    ``results/`` — for reference numbers that are committed."""
+    ``results/`` — for reference numbers that are committed.
+
+    Before overwriting, the previous committed payload is gated via
+    :func:`gate_against_baseline` so a bench run that regresses its own
+    reference numbers says so loudly at the point of overwrite."""
+    gate_against_baseline(name, payload)
     _dump_json(TRACKED_RESULTS, name, payload)
+
+
+def gate_against_baseline(name: str, payload: dict) -> bool:
+    """Compare *payload* against the committed ``results/<name>.json``
+    (when present) with the noise-tolerant regression comparator and
+    print the verdict.  Returns True when no regression was flagged —
+    advisory here; the CI ``perf-regression`` job is the hard gate."""
+    baseline_path = TRACKED_RESULTS / f"{name}.json"
+    if not baseline_path.exists():
+        return True
+    try:
+        from repro.obs import compare
+        baseline = json.loads(baseline_path.read_text())
+        report = compare(baseline, payload, name=name)
+    except Exception as exc:  # noqa: BLE001 - gating must never fail a bench
+        print(f"[regression gate skipped: {exc}]")
+        return True
+    print(report.render())
+    return report.passed
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,18 @@ Subcommands
     Print mesh/space/decomposition statistics without solving.
 ``trace``
     Render a telemetry trace (written by ``solve --telemetry``) as an
-    ASCII Gantt chart plus phase/counter tables.
+    ASCII Gantt chart plus phase/counter/event tables.
+``report``
+    One-page analysis of a trace: critical path, per-phase/per-rank
+    load imbalance, rank-to-rank comm matrix, convergence forensics
+    (``repro.obs.analysis``; ASCII or markdown).
+``metrics``
+    OpenMetrics/Prometheus text exposition (or JSON snapshot) of a
+    trace's counters, gauges and span totals (``repro.obs.metrics``).
+``regress``
+    Gate current bench JSONs against tracked baselines with
+    noise-tolerant thresholds (``repro.obs.regress``); ``--selftest``
+    verifies the gate flags an injected 2x slowdown.
 """
 
 from __future__ import annotations
@@ -78,7 +89,10 @@ def cmd_solve(args) -> int:
     recorder = None
     if args.telemetry:
         from .obs import Recorder
-        recorder = Recorder()
+        recorder = Recorder(ring=args.flight_recorder or None)
+    elif args.flight_recorder:
+        from .obs import Recorder
+        recorder = Recorder(ring=args.flight_recorder)
     faults = None
     if args.faults:
         from .resilience import FaultPlan
@@ -126,6 +140,13 @@ def cmd_solve(args) -> int:
                                        res["eigensolve_fallbacks"]))])
         if res.get("one_level_only"):
             rows.append(["one-level only", True])
+        if res.get("flight_recorder"):
+            fl = res["flight_recorder"]
+            rows.append(["flight recorder",
+                         f"last {len(fl['spans'])} spans / "
+                         f"{len(fl['events'])} events "
+                         f"(ring {fl['ring']}, "
+                         f"{fl['spans_total']} spans total)"])
     for phase, secs in solver.timer.as_dict().items():
         rows.append([f"time: {phase}", f"{secs:.2f} s"])
     for phase, secs in report.krylov.profile.items():
@@ -146,7 +167,7 @@ def cmd_solve(args) -> int:
                   cell_data={"partition": solver.decomposition.part
                              .astype(float)})
         print(f"\nsolution written to {args.vtk}")
-    if recorder is not None:
+    if recorder is not None and args.telemetry:
         from .obs import write_trace
         write_trace(recorder, args.telemetry,
                     format=args.telemetry_format)
@@ -260,6 +281,75 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from .obs import analyze, load_trace
+    report = analyze(load_trace(args.path))
+    try:
+        if args.format == "md":
+            print(report.to_markdown())
+        else:
+            print(report.render(width=args.width,
+                                max_ranks=args.max_ranks))
+    except BrokenPipeError:
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    from .obs import (load_trace, snapshot, to_openmetrics,
+                      validate_openmetrics)
+    trace = load_trace(args.path)
+    if args.json:
+        print(json.dumps(snapshot(trace), indent=2, sort_keys=True))
+        return 0
+    text = to_openmetrics(trace, prefix=args.prefix)
+    if args.check:
+        validate_openmetrics(text)
+    sys.stdout.write(text)
+    return 0
+
+
+def cmd_regress(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import Thresholds, compare, compare_dirs, compare_files
+    from .obs.regress import inject_slowdown
+    thresholds = Thresholds(time_ratio=args.time_ratio,
+                            count_ratio=args.count_ratio)
+    if args.selftest:
+        # the gate must flag a synthetic 2x slowdown of its own input —
+        # compare payload-inflated-by-2x against the payload itself
+        payload = json.loads(Path(args.selftest).read_text())
+        report = compare(payload, inject_slowdown(payload, 2.0),
+                         name=f"selftest({Path(args.selftest).name})",
+                         thresholds=thresholds)
+        flagged = bool(report.regressions)
+        print(report.render(verbose=args.verbose))
+        print(f"\nselftest: injected 2x slowdown "
+              f"{'FLAGGED (gate works)' if flagged else 'MISSED'}")
+        if args.report:
+            Path(args.report).write_text(report.to_markdown())
+        return 0 if flagged else 1
+    if args.baseline_dir:
+        report = compare_dirs(args.baseline_dir, args.current_dir,
+                              thresholds=thresholds)
+    elif args.baseline and args.current:
+        report = compare_files(args.baseline, args.current,
+                               thresholds=thresholds)
+    else:
+        raise SystemExit("error: pass --baseline-dir/--current-dir, "
+                         "--baseline/--current, or --selftest")
+    print(report.render(verbose=args.verbose))
+    if args.report:
+        Path(args.report).write_text(report.to_markdown())
+        print(f"\nmarkdown report written to {args.report}")
+    return 0 if report.passed else 1
+
+
 def cmd_info(args) -> int:
     mesh, form, clamp = build_problem(args)
     space = form.make_space(mesh)
@@ -331,6 +421,13 @@ def make_parser() -> argparse.ArgumentParser:
                     help="trace format: chrome (Perfetto-loadable "
                          "trace-event JSON) or jsonl (one event per "
                          "line)")
+    ps.add_argument("--flight-recorder", type=int, default=0,
+                    metavar="K",
+                    help="bounded black-box telemetry: keep only the "
+                         "last K spans/events in ring buffers (cheap "
+                         "enough to leave on); on a breakdown the ring "
+                         "is dumped into the solve report's resilience "
+                         "section (0 = off)")
     ps.add_argument("--faults", default="",
                     help="JSON fault plan to inject during the solve "
                          "(see docs/resilience.md)")
@@ -382,6 +479,64 @@ def make_parser() -> argparse.ArgumentParser:
     pt.add_argument("--max-tracks", type=int, default=16,
                     help="show at most this many tracks")
     pt.set_defaults(fn=cmd_trace)
+
+    pr = sub.add_parser("report", help="one-page run analysis of a "
+                                       "telemetry trace (critical path, "
+                                       "imbalance, comm matrix, "
+                                       "convergence)")
+    pr.add_argument("path", help="trace file written by "
+                                 "`solve --telemetry`")
+    pr.add_argument("--format", default="ascii", choices=("ascii", "md"),
+                    help="output format (md = GitHub-flavoured "
+                         "markdown)")
+    pr.add_argument("--width", type=int, default=78)
+    pr.add_argument("--max-ranks", type=int, default=16,
+                    help="show at most this many ranks in the comm "
+                         "matrix")
+    pr.set_defaults(fn=cmd_report)
+
+    pm = sub.add_parser("metrics", help="OpenMetrics exposition of a "
+                                        "telemetry trace's counters, "
+                                        "gauges and span totals")
+    pm.add_argument("path", help="trace file written by "
+                                 "`solve --telemetry`")
+    pm.add_argument("--json", action="store_true",
+                    help="emit the JSON snapshot instead of OpenMetrics "
+                         "text")
+    pm.add_argument("--prefix", default="repro",
+                    help="metric-name prefix (default: repro)")
+    pm.add_argument("--check", action="store_true",
+                    help="validate the exposition before printing")
+    pm.set_defaults(fn=cmd_metrics)
+
+    pg = sub.add_parser("regress", help="gate current bench JSONs "
+                                        "against tracked baselines "
+                                        "(exit 1 on a clear regression)")
+    pg.add_argument("--baseline", default="",
+                    help="one baseline BENCH_*.json")
+    pg.add_argument("--current", default="",
+                    help="the current run's BENCH_*.json")
+    pg.add_argument("--baseline-dir", default="",
+                    help="directory of tracked baselines (e.g. "
+                         "results/)")
+    pg.add_argument("--current-dir", default="benchmarks/results",
+                    help="directory of fresh bench JSONs")
+    pg.add_argument("--time-ratio", type=float, default=1.6,
+                    help="a time metric regresses past baseline x this "
+                         "(noise-tolerant default: 1.6)")
+    pg.add_argument("--count-ratio", type=float, default=1.3,
+                    help="a count metric regresses past baseline x "
+                         "this + 2")
+    pg.add_argument("--report", default="",
+                    help="also write the markdown report to this path")
+    pg.add_argument("--verbose", action="store_true",
+                    help="list every gated metric, not just "
+                         "regressions/improvements")
+    pg.add_argument("--selftest", default="", metavar="BENCH_JSON",
+                    help="verify the gate: inject a synthetic 2x "
+                         "slowdown into this payload and require it to "
+                         "be flagged")
+    pg.set_defaults(fn=cmd_regress)
     return p
 
 

@@ -48,6 +48,9 @@ class RankFailure(CommunicatorError):
         super().__init__(message)
         self.rank = rank
         self.op = op
+        #: flight-recorder black box (set by the raiser when the active
+        #: recorder runs in ring mode) — see repro.obs.Recorder(ring=K)
+        self.flight: dict | None = None
 
 
 class SolverError(ReproError):
@@ -86,6 +89,9 @@ class KrylovBreakdown(KrylovError):
         self.residuals = residuals if residuals is not None else []
         self.iteration = iteration
         self.profile = profile if profile is not None else {}
+        #: flight-recorder black box (set by the health monitor when
+        #: the active recorder runs in ring mode)
+        self.flight: dict | None = None
 
 
 class NonFiniteError(KrylovBreakdown):

@@ -434,9 +434,22 @@ class SchwarzSolver:
                         if health is not None:
                             resilience["breakdowns"] = \
                                 list(health.breakdowns)
+                        if self.recorder.ring is not None:
+                            # flight-recorder mode: keep the black box
+                            # of the *first* failure (closest to the
+                            # fault, before recovery rewrites history)
+                            resilience.setdefault(
+                                "flight_recorder",
+                                getattr(exc, "flight", None)
+                                or self.recorder.flight_dump())
                         if (not policy.active
                                 or resilience["restarts"]
                                 >= policy.max_restarts):
+                            if self.recorder.ring is not None \
+                                    and getattr(exc, "flight",
+                                                None) is None:
+                                exc.flight = \
+                                    resilience["flight_recorder"]
                             raise
                         resilience["restarts"] += 1
                         guess = self._recover(exc, policy, health,

@@ -59,6 +59,10 @@ class RankStats:
     global_syncs: int = 0
     #: injected faults observed on this rank, keyed by fault kind
     faults: dict[str, int] = field(default_factory=dict)
+    #: point-to-point traffic by destination world rank (sends only —
+    #: the matching recv is the destination's problem)
+    peer_msgs: dict[int, int] = field(default_factory=dict)
+    peer_bytes: dict[int, int] = field(default_factory=dict)
 
     def record_collective(self, kind: str, nbytes: int, *, is_global_sync: bool) -> None:
         self.collectives[kind] = self.collectives.get(kind, 0) + 1
@@ -90,15 +94,24 @@ class Meter:
     def stats(self, world_rank: int) -> RankStats:
         return self._stats[world_rank]
 
-    def on_send(self, world_rank: int, nbytes: int) -> None:
+    def on_send(self, world_rank: int, nbytes: int,
+                dest: int | None = None) -> None:
         s = self._stats[world_rank]
         with self._lock:
             s.sends += 1
             s.send_bytes += nbytes
+            if dest is not None:
+                s.peer_msgs[dest] = s.peer_msgs.get(dest, 0) + 1
+                s.peer_bytes[dest] = s.peer_bytes.get(dest, 0) + nbytes
         rec = self.recorder
         if rec.enabled:
             rec.add("mpi.sends", 1)
             rec.add("mpi.send_bytes", nbytes)
+            if dest is not None:
+                # pair counters let a trace file alone reconstruct the
+                # rank-to-rank matrix (repro.obs.analysis.comm_matrix)
+                rec.add(f"mpi.pair_msgs.{world_rank}->{dest}", 1)
+                rec.add(f"mpi.pair_bytes.{world_rank}->{dest}", nbytes)
 
     def on_recv(self, world_rank: int, nbytes: int) -> None:
         s = self._stats[world_rank]
@@ -152,6 +165,25 @@ class Meter:
 
     def total_faults(self) -> int:
         return sum(sum(s.faults.values()) for s in self._stats)
+
+    def comm_matrix(self, weight: str = "bytes") -> np.ndarray:
+        """Rank-to-rank point-to-point traffic matrix.
+
+        ``M[i, j]`` is the bytes (``weight="bytes"``) or message count
+        (``weight="messages"``) sent from world rank *i* to world rank
+        *j*.  Collectives are metered separately (they are rendezvous
+        operations, not pairwise messages) and do not appear here.
+        """
+        if weight not in ("bytes", "messages"):
+            raise ValueError(f"unknown weight {weight!r}; expected "
+                             f"'bytes' or 'messages'")
+        M = np.zeros((self.world_size, self.world_size))
+        for i, s in enumerate(self._stats):
+            peers = s.peer_bytes if weight == "bytes" else s.peer_msgs
+            for j, v in peers.items():
+                if 0 <= j < self.world_size:
+                    M[i, j] += v
+        return M
 
     def summary(self) -> dict:
         out = {

@@ -266,7 +266,8 @@ class Comm:
             if obj is DROP:        # injected message loss: never delivered
                 return
         if _metered:
-            self.meter.on_send(self.world_rank, payload_bytes(obj))
+            self.meter.on_send(self.world_rank, payload_bytes(obj),
+                               dest=self._ctx.world_ranks[dest])
         self._mailbox(self.rank, dest, tag).put(obj)
 
     def isend(self, obj, dest: int, tag: int = 0) -> Request:

@@ -5,8 +5,32 @@ One :class:`Recorder` threads through setup (``SchwarzSolver`` →
 driver), the parallel setup engine and the simulated MPI layer; the four
 legacy mechanisms (``PhaseTimer``, ``SolveProfiler``, ``Tracer``,
 ``Meter``) are thin adapters over it.  See ``docs/observability.md``.
+
+On top of the capture layer sit three analysis surfaces:
+
+* :mod:`repro.obs.analysis` — critical path, load imbalance, comm
+  matrix, convergence forensics (the ``repro report`` subcommand);
+* :mod:`repro.obs.metrics` — OpenMetrics exposition + JSON snapshot
+  (the ``repro metrics`` subcommand / future daemon endpoint);
+* :mod:`repro.obs.regress` — baseline comparison over tracked
+  ``results/BENCH_*.json`` (the ``repro regress`` subcommand and the
+  CI ``perf-regression`` gate).
 """
 
+from .analysis import (
+    CommMatrix,
+    ConvergenceDiagnostics,
+    ImbalanceStat,
+    PathStep,
+    RunReport,
+    analyze,
+    comm_matrix,
+    convergence_forensics,
+    critical_path,
+    critical_paths,
+    fit_decay_rate,
+    load_imbalance,
+)
 from .export import (
     FORMATS,
     TraceData,
@@ -17,6 +41,7 @@ from .export import (
     to_jsonl,
     write_trace,
 )
+from .metrics import snapshot, to_openmetrics, validate_openmetrics
 from .recorder import (
     NULL_RECORDER,
     EventRecord,
@@ -25,6 +50,15 @@ from .recorder import (
     SpanRecord,
     column_iterations,
     iteration_residuals,
+)
+from .regress import (
+    MetricCheck,
+    RegressionReport,
+    Thresholds,
+    compare,
+    compare_dirs,
+    compare_files,
+    inject_slowdown,
 )
 
 __all__ = [
@@ -43,4 +77,29 @@ __all__ = [
     "write_trace",
     "load_trace",
     "render_trace",
+    # analysis
+    "analyze",
+    "critical_path",
+    "critical_paths",
+    "load_imbalance",
+    "comm_matrix",
+    "convergence_forensics",
+    "fit_decay_rate",
+    "RunReport",
+    "PathStep",
+    "ImbalanceStat",
+    "CommMatrix",
+    "ConvergenceDiagnostics",
+    # metrics
+    "snapshot",
+    "to_openmetrics",
+    "validate_openmetrics",
+    # regression gating
+    "compare",
+    "compare_files",
+    "compare_dirs",
+    "inject_slowdown",
+    "Thresholds",
+    "RegressionReport",
+    "MetricCheck",
 ]

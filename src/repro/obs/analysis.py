@@ -1,0 +1,482 @@
+"""Trace analytics: what a recorded run *means*.
+
+PR 3 gave the repo raw telemetry capture (spans/counters/events and the
+chrome/jsonl exports); this module interprets it.  Every function works
+on either a live :class:`~repro.obs.Recorder` or a loaded
+:class:`~repro.obs.TraceData` — anything exposing ``spans`` /
+``events`` / ``counters`` / ``gauges``:
+
+* :func:`critical_path` — the chain of spans that bounds the wall
+  clock, with per-hop self time (what figs. 8/10 call the dominant
+  phase, extracted structurally instead of by eyeballing);
+* :func:`load_imbalance` — max/mean/min statistics per phase across
+  tracks and per-task indices (``geneo[i]``), the SPMD wall-clock =
+  max-over-subdomains story of the paper's scaling figures;
+* :func:`comm_matrix` — the rank-to-rank traffic matrix, from a live
+  :class:`~repro.mpi.meter.Meter` or reconstructed from the
+  ``mpi.pair_*`` counters a trace file carries;
+* :func:`convergence_forensics` — residual decay-rate fit, stagnation
+  and orthogonality-loss flags from the ``iteration`` / ``health.*``
+  event stream;
+* :func:`analyze` — all of the above bundled into a :class:`RunReport`
+  that renders as the one-page ``repro report`` output (ASCII or
+  markdown).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .recorder import iteration_residuals
+
+#: per-task span suffix (``geneo[3]``, ``factorize[0]``, ...)
+_TASK_RE = re.compile(r"^(?P<base>.+)\[(?P<idx>\d+)\]$")
+#: pair counters fed by :class:`repro.mpi.meter.Meter`
+_PAIR_RE = re.compile(r"^mpi\.pair_(?P<weight>msgs|bytes)\."
+                      r"(?P<src>\d+)->(?P<dst>\d+)$")
+
+
+# ----------------------------------------------------------------------
+# Critical path
+# ----------------------------------------------------------------------
+
+@dataclass
+class PathStep:
+    """One hop of the critical path."""
+
+    name: str
+    track: str
+    depth: int
+    duration: float
+    #: duration not covered by any child span (own work on the path)
+    self_seconds: float
+    #: fraction of the path root's duration
+    fraction: float
+
+
+def critical_path(trace, root: str | None = None) -> list[PathStep]:
+    """Extract the dominant chain of the span tree.
+
+    Starting from the longest root span (or the longest span named
+    *root*), descend at every level into the child with the largest
+    duration.  The result is the chain of spans that bounds the wall
+    clock; each step carries its *self* time — the part of its duration
+    no child span accounts for — so the report shows where on the path
+    the time actually goes.
+    """
+    spans = list(trace.spans)
+    if not spans:
+        return []
+    children: dict[int | None, list] = {}
+    for s in spans:
+        children.setdefault(s.parent, []).append(s)
+    if root is None:
+        candidates = children.get(None, [])
+    else:
+        candidates = [s for s in spans if s.name == root]
+    if not candidates:
+        return []
+    top = max(candidates, key=lambda s: s.duration)
+    total = max(top.duration, 1e-12)
+    path: list[PathStep] = []
+    node, depth = top, 0
+    while node is not None:
+        kids = children.get(node.index, [])
+        covered = sum(k.duration for k in kids)
+        path.append(PathStep(
+            name=node.name, track=node.track, depth=depth,
+            duration=node.duration,
+            self_seconds=max(node.duration - covered, 0.0),
+            fraction=node.duration / total))
+        node = max(kids, key=lambda s: s.duration) if kids else None
+        depth += 1
+    return path
+
+
+def critical_paths(trace, *, max_roots: int = 3) -> list[PathStep]:
+    """Critical paths of the run's top-level phases, concatenated.
+
+    A solver run has several sequential root spans (``setup`` then
+    ``solution``); :func:`critical_path` alone would only show the
+    longest one.  This walks the *max_roots* longest distinct root
+    names in start order, so the report reads as the run's timeline.
+    """
+    roots: dict[str, object] = {}
+    for s in trace.spans:
+        if s.parent is not None:
+            continue
+        cur = roots.get(s.name)
+        if cur is None or s.duration > cur.duration:
+            roots[s.name] = s
+    picked = sorted(roots.values(), key=lambda s: -s.duration)[:max_roots]
+    picked.sort(key=lambda s: s.start)
+    out: list[PathStep] = []
+    for r in picked:
+        out.extend(critical_path(trace, root=r.name))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Load imbalance
+# ----------------------------------------------------------------------
+
+@dataclass
+class ImbalanceStat:
+    """Max/mean statistics of one phase over its parallel instances.
+
+    *Instances* are either tracks (SPMD rank threads, pool workers) or
+    per-task indices (``geneo[i]`` spans, which land on whatever thread
+    ran them): whichever axis the phase parallelises over.
+    """
+
+    name: str
+    instances: int
+    mean: float
+    max: float
+    min: float
+    #: max/mean — 1.0 is perfect balance; the SPMD wall clock pays max
+    ratio: float
+    #: instance label holding the maximum (rank/track or task index)
+    argmax: str
+
+
+def load_imbalance(trace, *, min_instances: int = 2) -> list[ImbalanceStat]:
+    """Per-phase imbalance statistics across parallel instances.
+
+    Spans named ``base[i]`` are grouped under ``base`` with one
+    instance per index; other span names group per track.  Phases with
+    fewer than *min_instances* instances are skipped (nothing to
+    balance).  Sorted by total seconds, heaviest first.
+    """
+    groups: dict[str, dict[str, float]] = {}
+    for s in trace.spans:
+        m = _TASK_RE.match(s.name)
+        if m:
+            base, instance = m.group("base"), f"[{m.group('idx')}]"
+        else:
+            base, instance = s.name, s.track
+        per = groups.setdefault(base, {})
+        per[instance] = per.get(instance, 0.0) + s.duration
+    out: list[ImbalanceStat] = []
+    for base, per in groups.items():
+        if len(per) < min_instances:
+            continue
+        vals = np.array(list(per.values()))
+        mean = float(vals.mean())
+        argmax = max(per, key=per.get)
+        out.append(ImbalanceStat(
+            name=base, instances=len(per), mean=mean,
+            max=float(vals.max()), min=float(vals.min()),
+            ratio=float(vals.max()) / max(mean, 1e-300), argmax=argmax))
+    out.sort(key=lambda st: -(st.mean * st.instances))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Communication matrix
+# ----------------------------------------------------------------------
+
+@dataclass
+class CommMatrix:
+    """Rank-to-rank point-to-point traffic (sends define direction)."""
+
+    bytes: np.ndarray
+    messages: np.ndarray
+
+    @property
+    def nranks(self) -> int:
+        return self.bytes.shape[0]
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.bytes.sum())
+
+    @property
+    def total_messages(self) -> float:
+        return float(self.messages.sum())
+
+    def neighbors(self, rank: int) -> list[int]:
+        """Ranks this rank exchanged any payload with (either way)."""
+        touched = np.flatnonzero(self.bytes[rank] + self.bytes[:, rank])
+        return [int(r) for r in touched if r != rank]
+
+    def render(self, *, weight: str = "bytes", max_ranks: int = 16) -> str:
+        """ASCII heat map: one glyph per (src, dst) cell, log-scaled."""
+        M = self.bytes if weight == "bytes" else self.messages
+        n = min(self.nranks, max_ranks)
+        if n == 0 or M.sum() == 0:
+            return "(no point-to-point traffic recorded)"
+        glyphs = " .:-=+*#@"
+        peak = M[:n, :n].max()
+        lines = [f"comm matrix ({weight}, sends row -> column, "
+                 f"peak = {peak:g})"]
+        header = "      " + "".join(f"{j:>4d}" for j in range(n))
+        lines.append(header)
+        for i in range(n):
+            row = []
+            for j in range(n):
+                v = M[i, j]
+                if v <= 0:
+                    row.append("   .")
+                else:
+                    # log scale so one heavy pair doesn't blank the rest
+                    t = math.log1p(v) / math.log1p(peak)
+                    row.append("   " + glyphs[min(len(glyphs) - 1,
+                                                  int(t * (len(glyphs) - 1)))])
+            lines.append(f"{i:>4d} |" + "".join(row))
+        if self.nranks > n:
+            lines.append(f"... ({self.nranks - n} more ranks)")
+        lines.append(f"totals: {self.total_messages:g} messages, "
+                     f"{self.total_bytes:g} bytes")
+        return "\n".join(lines)
+
+
+def comm_matrix(source) -> CommMatrix:
+    """Build the rank-to-rank matrix from a live meter or a trace.
+
+    *source* may be a :class:`repro.mpi.meter.Meter` (exact per-rank
+    peer stats) or any recorder/trace carrying the ``mpi.pair_msgs.*``
+    / ``mpi.pair_bytes.*`` counters the meter feeds — which is how a
+    trace file alone reconstructs the exchange pattern.
+    """
+    if hasattr(source, "comm_matrix"):          # a Meter
+        return CommMatrix(bytes=source.comm_matrix("bytes"),
+                          messages=source.comm_matrix("messages"))
+    pairs: list[tuple[str, int, int, float]] = []
+    nranks = 0
+    for name, value in source.counters.items():
+        m = _PAIR_RE.match(name)
+        if not m:
+            continue
+        src, dst = int(m.group("src")), int(m.group("dst"))
+        pairs.append((m.group("weight"), src, dst, float(value)))
+        nranks = max(nranks, src + 1, dst + 1)
+    B = np.zeros((nranks, nranks))
+    M = np.zeros((nranks, nranks))
+    for weight, src, dst, value in pairs:
+        (B if weight == "bytes" else M)[src, dst] += value
+    return CommMatrix(bytes=B, messages=M)
+
+
+# ----------------------------------------------------------------------
+# Convergence forensics
+# ----------------------------------------------------------------------
+
+@dataclass
+class ConvergenceDiagnostics:
+    """What the per-iteration event stream says about the solve."""
+
+    iterations: int
+    residuals: list[float] = field(default_factory=list)
+    #: geometric per-iteration contraction factor from a log-linear fit
+    #: of the residual history (NaN when unfittable)
+    decay_rate: float = float("nan")
+    #: iterations needed per decimal digit of residual reduction
+    iterations_per_digit: float = float("nan")
+    converged_ratio: float = float("nan")
+    restarts: int = 0
+    #: longest run of iterations with < ``stagnation_rtol`` improvement
+    stagnation_window: int = 0
+    stagnating: bool = False
+    #: health.* breakdown events seen (reason -> count)
+    health_events: dict = field(default_factory=dict)
+    orthogonality_loss: bool = False
+    recovery_restarts: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "decay_rate": self.decay_rate,
+            "iterations_per_digit": self.iterations_per_digit,
+            "converged_ratio": self.converged_ratio,
+            "restarts": self.restarts,
+            "stagnation_window": self.stagnation_window,
+            "stagnating": self.stagnating,
+            "health_events": dict(self.health_events),
+            "orthogonality_loss": self.orthogonality_loss,
+            "recovery_restarts": self.recovery_restarts,
+        }
+
+
+def fit_decay_rate(residuals) -> float:
+    """Geometric contraction factor ρ from ``r_k ≈ r_0 ρ^k``.
+
+    A least-squares fit of ``log10 r_k`` against ``k`` over the finite,
+    positive samples; NaN when fewer than two such samples exist.
+    """
+    pts = [(k, math.log10(r)) for k, r in enumerate(residuals)
+           if r > 0 and math.isfinite(r)]
+    if len(pts) < 2:
+        return float("nan")
+    ks = np.array([p[0] for p in pts], dtype=float)
+    ys = np.array([p[1] for p in pts], dtype=float)
+    slope = float(np.polyfit(ks, ys, 1)[0])
+    return float(10.0 ** slope)
+
+
+def stagnation_run(residuals, *, rtol: float = 1e-2) -> int:
+    """Length of the longest streak of iterations whose best-so-far
+    residual improved by less than a factor ``(1 - rtol)`` each."""
+    best = math.inf
+    run = longest = 0
+    for r in residuals:
+        if not math.isfinite(r):
+            break
+        if r < best * (1 - rtol):
+            best = min(best, r)
+            run = 0
+        else:
+            best = min(best, r)
+            run += 1
+            longest = max(longest, run)
+    return longest
+
+
+def convergence_forensics(trace, *, stagnation_threshold: int = 10
+                          ) -> ConvergenceDiagnostics:
+    """Reconstruct the solve's convergence story from recorded events."""
+    residuals = iteration_residuals(trace)
+    diag = ConvergenceDiagnostics(iterations=len(residuals),
+                                  residuals=residuals)
+    if residuals:
+        diag.decay_rate = fit_decay_rate(residuals)
+        if 0 < diag.decay_rate < 1:
+            diag.iterations_per_digit = -1.0 / math.log10(diag.decay_rate)
+        if residuals[0] > 0 and residuals[-1] > 0:
+            diag.converged_ratio = residuals[-1] / residuals[0]
+        diag.stagnation_window = stagnation_run(residuals)
+        diag.stagnating = (diag.stagnation_window >= stagnation_threshold
+                           or (len(residuals) >= stagnation_threshold
+                               and not diag.decay_rate < 1))
+    for e in trace.events:
+        if e.name == "restart":
+            diag.restarts += 1
+        elif e.name.startswith("health."):
+            reason = e.name[len("health."):]
+            diag.health_events[reason] = \
+                diag.health_events.get(reason, 0) + 1
+        elif e.name == "recovery.restart":
+            diag.recovery_restarts += 1
+    diag.orthogonality_loss = "orthogonality" in diag.health_events
+    return diag
+
+
+# ----------------------------------------------------------------------
+# The bundled run report
+# ----------------------------------------------------------------------
+
+@dataclass
+class RunReport:
+    """Everything ``repro report`` prints, as structured data."""
+
+    path: list[PathStep]
+    imbalance: list[ImbalanceStat]
+    comm: CommMatrix
+    convergence: ConvergenceDiagnostics
+    counters: dict
+    gauges: dict
+    totals: dict
+
+    def render(self, *, width: int = 78, max_ranks: int = 16) -> str:
+        from ..common.asciiplot import table
+
+        parts: list[str] = []
+        rows = [[k, f"{v:g}"] for k, v in sorted(self.gauges.items())]
+        wall = sum(s.duration for s in self.path if s.depth == 0)
+        rows.append(["wall clock (critical path)", f"{wall * 1e3:.3f} ms"])
+        parts.append(table(["run summary", "value"], rows))
+
+        if self.path:
+            prow = [["  " * p.depth + p.name, p.track,
+                     f"{p.duration * 1e3:.3f}",
+                     f"{p.self_seconds * 1e3:.3f}",
+                     f"{p.fraction * 100:.1f}%"] for p in self.path]
+            parts.append(table(
+                ["critical path", "track", "total (ms)", "self (ms)",
+                 "share"], prow))
+
+        if self.imbalance:
+            irow = [[st.name, str(st.instances),
+                     f"{st.mean * 1e3:.3f}", f"{st.max * 1e3:.3f}",
+                     f"{st.ratio:.2f}", st.argmax]
+                    for st in self.imbalance]
+            parts.append(table(
+                ["phase", "instances", "mean (ms)", "max (ms)",
+                 "max/mean", "slowest"], irow,
+                title="load imbalance (SPMD wall clock pays max)"))
+
+        parts.append(self.comm.render(max_ranks=max_ranks))
+
+        c = self.convergence
+        crow = [["iterations", c.iterations],
+                ["decay rate (rho per iter)",
+                 f"{c.decay_rate:.4f}" if math.isfinite(c.decay_rate)
+                 else "n/a"],
+                ["iterations per digit",
+                 f"{c.iterations_per_digit:.2f}"
+                 if math.isfinite(c.iterations_per_digit) else "n/a"],
+                ["residual reduction",
+                 f"{c.converged_ratio:.3e}"
+                 if math.isfinite(c.converged_ratio) else "n/a"],
+                ["restart cycles", c.restarts],
+                ["longest stagnation run", c.stagnation_window],
+                ["stagnating", c.stagnating],
+                ["orthogonality loss", c.orthogonality_loss]]
+        if c.health_events:
+            crow.append(["health events",
+                         ", ".join(f"{k}:{v}" for k, v in
+                                   sorted(c.health_events.items()))])
+        if c.recovery_restarts:
+            crow.append(["recovery restarts", c.recovery_restarts])
+        parts.append(table(["convergence", "value"], crow))
+        return "\n\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """The same report as GitHub-flavoured markdown."""
+        lines = ["# repro run report", ""]
+        lines += ["## Critical path", "",
+                  "| span | track | total (ms) | self (ms) | share |",
+                  "|---|---|---:|---:|---:|"]
+        for p in self.path:
+            lines.append(f"| {'&nbsp;' * 2 * p.depth}{p.name} | {p.track} "
+                         f"| {p.duration * 1e3:.3f} "
+                         f"| {p.self_seconds * 1e3:.3f} "
+                         f"| {p.fraction * 100:.1f}% |")
+        lines += ["", "## Load imbalance", "",
+                  "| phase | instances | mean (ms) | max (ms) | "
+                  "max/mean | slowest |", "|---|---:|---:|---:|---:|---|"]
+        for st in self.imbalance:
+            lines.append(f"| {st.name} | {st.instances} "
+                         f"| {st.mean * 1e3:.3f} | {st.max * 1e3:.3f} "
+                         f"| {st.ratio:.2f} | {st.argmax} |")
+        lines += ["", "## Communication", "", "```",
+                  self.comm.render(), "```", ""]
+        lines += ["## Convergence", ""]
+        for k, v in self.convergence.as_dict().items():
+            if k == "residuals":
+                continue
+            lines.append(f"- **{k}**: {v}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def analyze(trace, *, meter=None) -> RunReport:
+    """Run every analysis over *trace* and bundle the results.
+
+    Passing the live :class:`~repro.mpi.meter.Meter` (when available)
+    gives the comm matrix exact per-rank stats; otherwise it is
+    reconstructed from the trace's ``mpi.pair_*`` counters.
+    """
+    totals = trace.totals() if hasattr(trace, "totals") else {}
+    return RunReport(
+        path=critical_paths(trace),
+        imbalance=load_imbalance(trace),
+        comm=comm_matrix(meter if meter is not None else trace),
+        convergence=convergence_forensics(trace),
+        counters=dict(trace.counters),
+        gauges=dict(trace.gauges),
+        totals=totals)

@@ -57,12 +57,15 @@ def to_chrome_trace(rec) -> dict:
         events.append({"name": e.name, "cat": "event", "ph": "i", "s": "t",
                        "pid": 0, "tid": tid.get(e.track, 0),
                        "ts": e.time * 1e6, "args": dict(e.attrs)})
-    if rec.counters:
-        t_end = max([s.end for s in rec.spans] or [0.0])
-        for name, value in sorted(rec.counters.items()):
-            events.append({"name": name, "cat": "counter", "ph": "C",
-                           "pid": 0, "tid": 0, "ts": t_end * 1e6,
-                           "args": {name: value}})
+    t_end = max([s.end for s in rec.spans] or [0.0])
+    for name, value in sorted(rec.counters.items()):
+        events.append({"name": name, "cat": "counter", "ph": "C",
+                       "pid": 0, "tid": 0, "ts": t_end * 1e6,
+                       "args": {name: value}})
+    for name, value in sorted(rec.gauges.items()):
+        events.append({"name": name, "cat": "gauge", "ph": "C",
+                       "pid": 0, "tid": 0, "ts": t_end * 1e6,
+                       "args": {name: value}})
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -167,9 +170,18 @@ def _load_chrome(payload: dict) -> TraceData:
             out.events.append(EventRecord(
                 ev["name"], track, ev["ts"] / 1e6,
                 dict(ev.get("args", {}))))
+        elif ph == "C":
+            # counter/gauge samples — the fidelity fallback for traces
+            # whose otherData block was stripped (e.g. by trace tools
+            # that only preserve traceEvents)
+            target = out.gauges if ev.get("cat") == "gauge" \
+                else out.counters
+            for name, value in ev.get("args", {}).items():
+                target[name] = value
     other = payload.get("otherData", {})
-    out.counters = dict(other.get("counters", {}))
-    out.gauges = dict(other.get("gauges", {}))
+    # otherData is authoritative when present (exact, unsampled values)
+    out.counters.update(other.get("counters", {}))
+    out.gauges.update(other.get("gauges", {}))
     return out
 
 
@@ -265,11 +277,18 @@ def render_trace(trace: TraceData, *, width: int = 78,
         parts.append(table(["span", "total (ms)", "count"], rows,
                            title="phase totals"))
     if trace.counters or trace.gauges:
-        rows = [[k, f"{v:g}"] for k, v in sorted(trace.counters.items())]
-        rows += [[k, f"{v:g}"] for k, v in sorted(trace.gauges.items())]
-        parts.append(table(["counter/gauge", "value"], rows,
-                           title="counters"))
+        rows = [[k, "counter", f"{v:g}"]
+                for k, v in sorted(trace.counters.items())]
+        rows += [[k, "gauge", f"{v:g}"]
+                 for k, v in sorted(trace.gauges.items())]
+        parts.append(table(["name", "kind", "value"], rows,
+                           title="counters and gauges"))
     if trace.events:
-        parts.append(f"{len(trace.events)} events recorded "
-                     f"(iteration/restart/orthogonality_loss ...)")
+        by_name: dict[str, int] = {}
+        for e in trace.events:
+            by_name[e.name] = by_name.get(e.name, 0) + 1
+        rows = [[name, str(n)] for name, n in
+                sorted(by_name.items(), key=lambda kv: (-kv[1], kv[0]))]
+        parts.append(table(["event", "count"], rows,
+                           title=f"events ({len(trace.events)} total)"))
     return "\n\n".join(parts)

@@ -1,0 +1,173 @@
+"""OpenMetrics/Prometheus exposition of recorded telemetry.
+
+The machine-readable metrics surface for the solver-as-a-service
+direction: :func:`snapshot` is the JSON shape a daemon's ``/metrics``-
+adjacent status endpoint returns, and :func:`to_openmetrics` renders
+the same data as OpenMetrics text — counters as ``*_total``, gauges as
+gauges, per-span totals as ``repro_span_seconds_total`` /
+``repro_span_calls_total`` with a ``span`` label, and the meter's pair
+counters as ``repro_mpi_pair_*`` with ``src``/``dst`` labels.
+
+Both accept a live :class:`~repro.obs.Recorder` or a loaded
+:class:`~repro.obs.TraceData`, so ``repro metrics <trace>`` works on a
+file and the future daemon works on the in-process recorder with the
+same code path.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .analysis import _PAIR_RE
+
+#: legal OpenMetrics metric-name characters
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+#: one exposition line: ``name{labels} value`` (labels optional)
+_LINE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? "
+    r"[-+0-9.eEnaif]+$")
+
+
+def sanitize(name: str) -> str:
+    """Make *name* a legal OpenMetrics metric name."""
+    out = _NAME_RE.sub("_", name)
+    if not out or not (out[0].isalpha() or out[0] in "_:"):
+        out = "_" + out
+    return out
+
+
+def _fmt(value: float) -> str:
+    v = float(value)
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _label_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def snapshot(rec, *, extra: dict | None = None) -> dict:
+    """JSON-ready metrics snapshot: counters, gauges, span totals.
+
+    The structured twin of :func:`to_openmetrics` — what a service
+    endpoint returns to programmatic clients (the autotuner reads this
+    shape too).
+    """
+    totals = rec.totals() if hasattr(rec, "totals") else {}
+    out = {
+        "counters": dict(rec.counters),
+        "gauges": dict(rec.gauges),
+        "spans": {name: {"seconds": t["seconds"], "count": t["count"]}
+                  for name, t in totals.items()},
+        "num_events": len(rec.events),
+    }
+    if extra:
+        out.update(extra)
+    return out
+
+
+def to_openmetrics(rec, *, prefix: str = "repro",
+                   labels: dict[str, str] | None = None) -> str:
+    """Render *rec* as an OpenMetrics text exposition.
+
+    *labels* are attached to every sample (e.g. ``{"run": "bench42"}``
+    from a daemon serving several cached sessions).  The output ends
+    with the mandatory ``# EOF`` marker.
+    """
+    base = dict(labels or {})
+    lines: list[str] = []
+
+    def emit(name: str, mtype: str, help_text: str,
+             samples: list[tuple[dict, float]]) -> None:
+        lines.append(f"# TYPE {name} {mtype}")
+        lines.append(f"# HELP {name} {help_text}")
+        for lbl, value in samples:
+            lines.append(f"{name}{_label_str(dict(base, **lbl))} "
+                         f"{_fmt(value)}")
+
+    def emit_grouped(metric_of, mtype: str, help_of,
+                     items: list[tuple[str, float]]) -> None:
+        # Distinct raw names may sanitize to the same metric name
+        # (``coarse.dim`` and ``coarse_dim``); OpenMetrics forbids
+        # repeating a metric block, so colliding names are merged into
+        # one block with a ``name`` label carrying the raw spelling.
+        groups: dict[str, list[tuple[str, float]]] = {}
+        for name, value in items:
+            groups.setdefault(metric_of(name), []).append((name, value))
+        for metric, members in sorted(groups.items()):
+            if len(members) == 1:
+                name, value = members[0]
+                emit(metric, mtype, help_of(name), [({}, value)])
+            else:
+                emit(metric, mtype,
+                     f"recorded {mtype}s (colliding names merged)",
+                     [({"name": name}, value) for name, value in members])
+
+    pair_samples: dict[str, list[tuple[dict, float]]] = {}
+    plain_counters: list[tuple[str, float]] = []
+    for name, value in sorted(rec.counters.items()):
+        m = _PAIR_RE.match(name)
+        if m:
+            pair_samples.setdefault(m.group("weight"), []).append(
+                ({"src": m.group("src"), "dst": m.group("dst")},
+                 float(value)))
+        else:
+            plain_counters.append((name, float(value)))
+    emit_grouped(lambda n: f"{prefix}_{sanitize(n)}_total", "counter",
+                 lambda n: f"recorded counter {n}", plain_counters)
+    for weight, samples in sorted(pair_samples.items()):
+        emit(f"{prefix}_mpi_pair_{weight}_total", "counter",
+             f"point-to-point {weight} sent from src to dst", samples)
+
+    emit_grouped(lambda n: f"{prefix}_{sanitize(n)}", "gauge",
+                 lambda n: f"recorded gauge {n}",
+                 [(n, float(v)) for n, v in sorted(rec.gauges.items())])
+
+    totals = rec.totals() if hasattr(rec, "totals") else {}
+    if totals:
+        emit(f"{prefix}_span_seconds_total", "counter",
+             "accumulated seconds per span name",
+             [({"span": name}, t["seconds"])
+              for name, t in sorted(totals.items())])
+        emit(f"{prefix}_span_calls_total", "counter",
+             "span open count per span name",
+             [({"span": name}, float(t["count"]))
+              for name, t in sorted(totals.items())])
+    emit(f"{prefix}_events", "gauge", "recorded instant events",
+         [({}, float(len(rec.events)))])
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def validate_openmetrics(text: str) -> None:
+    """Cheap structural validation of an exposition (used in tests and
+    by ``repro metrics --check``): every line is a comment or a
+    parsable sample, and the exposition ends with ``# EOF``."""
+    lines = text.rstrip("\n").split("\n")
+    if lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    typed: set[str] = set()
+    seen_samples: set[str] = set()
+    for ln in lines:
+        if ln.startswith("#"):
+            m = re.match(r"^# (TYPE|HELP|UNIT|EOF)(?: (\S+))?", ln)
+            if not m:
+                raise ValueError(f"malformed comment line: {ln!r}")
+            if m.group(1) == "TYPE":
+                if m.group(2) in typed:
+                    raise ValueError(
+                        f"duplicate metric block: {m.group(2)!r}")
+                typed.add(m.group(2))
+            continue
+        if not _LINE_RE.match(ln):
+            raise ValueError(f"malformed sample line: {ln!r}")
+        key = ln.rsplit(" ", 1)[0]
+        if key in seen_samples:
+            raise ValueError(f"duplicate sample: {key!r}")
+        seen_samples.add(key)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 
@@ -121,6 +122,7 @@ class NullRecorder:
     """
 
     enabled = False
+    ring = None
     spans: tuple = ()
     events: tuple = ()
     counters: dict = {}
@@ -139,6 +141,9 @@ class NullRecorder:
 
     def gauge(self, name: str, value: float) -> None:
         pass
+
+    def flight_dump(self) -> dict:
+        return {}
 
 
 #: module-wide shared no-op instance (stateless, safe to share)
@@ -161,20 +166,35 @@ class Recorder:
     closed) on the current thread is the parent of the next one.  Spans
     opened on other threads (setup workers, SPMD ranks) start their own
     stacks and render as separate tracks.
+
+    Passing ``ring=K`` turns the recorder into a **flight recorder**:
+    spans and events live in bounded ring buffers holding only the last
+    *K* records each (counters and gauges stay exact — they are bounded
+    by construction).  Memory stays O(K) no matter how long the run, so
+    the mode is cheap enough to leave on; when a breakdown fires,
+    :meth:`flight_dump` snapshots the buffers into a JSON-ready black
+    box that lands in ``SolveReport.resilience["flight_recorder"]``.
     """
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self, *, ring: int | None = None):
         #: perf_counter origin — all recorded times are relative to this
         self.t0 = time.perf_counter()
-        self.spans: list[SpanRecord] = []
-        self.events: list[EventRecord] = []
+        #: flight-recorder capacity (None = unbounded, the default)
+        self.ring = None if ring is None else max(int(ring), 1)
+        if self.ring is None:
+            self.spans: list[SpanRecord] = []
+            self.events: list[EventRecord] = []
+        else:
+            self.spans = deque(maxlen=self.ring)
+            self.events = deque(maxlen=self.ring)
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self._lock = threading.Lock()
         self._tls = threading.local()
         self._index = 0
+        self._num_events = 0
 
     # -- recording -----------------------------------------------------
     def now(self) -> float:
@@ -199,6 +219,7 @@ class Recorder:
                           attrs if attrs is not None else {})
         with self._lock:
             self.events.append(rec)
+            self._num_events += 1
 
     def add(self, name: str, value: float = 1) -> None:
         """Increment counter *name* by *value* (thread-safe)."""
@@ -269,6 +290,36 @@ class Recorder:
             t["seconds"] += s.duration
             t["count"] += 1
         return out
+
+    def flight_dump(self) -> dict:
+        """Snapshot the black box: the last ``ring`` spans/events (or
+        everything, when unbounded) plus the exact counters and gauges,
+        as a JSON-ready dict.
+
+        ``spans_total`` / ``events_total`` count every record *ever*
+        made, so a reader can tell how much the ring dropped.
+        """
+        with self._lock:
+            spans = list(self.spans)
+            events = list(self.events)
+            counters = dict(self.counters)
+            gauges = dict(self.gauges)
+            spans_total = self._index
+            events_total = self._num_events
+        return {
+            "ring": self.ring,
+            "spans_total": spans_total,
+            "events_total": events_total,
+            "spans": [{"name": s.name, "track": s.track,
+                       "start": s.start, "end": s.end,
+                       "index": s.index, "parent": s.parent,
+                       "attrs": s.attrs or {}} for s in spans],
+            "events": [{"name": e.name, "track": e.track,
+                        "time": e.time, "attrs": dict(e.attrs)}
+                       for e in events],
+            "counters": counters,
+            "gauges": gauges,
+        }
 
     def tracks(self) -> list[str]:
         """Track names in order of first appearance (spans, then

@@ -1,0 +1,329 @@
+"""Continuous performance-regression gating over tracked bench JSONs.
+
+The tracked ``results/BENCH_*.json`` files carry provenance stamps (PR
+6) but nothing compared runs over time; this module is that
+comparator.  It flattens the numeric leaves of two bench payloads into
+dotted metric paths, classifies each metric by name (time-like → lower
+is better, ``speedup``-like → higher is better, iteration counts →
+lower is better but integer-noisy), applies noise-tolerant thresholds,
+and emits a pass/fail :class:`RegressionReport`.
+
+Scale awareness: when the two payloads' ``problem`` sections disagree
+(e.g. a CI smoke run against a committed full-scale baseline), scale-
+dependent metrics — times, bytes, and speedup ratios (which collapse
+on cache-resident smoke problems) — are *skipped* rather than
+nonsensically compared; algorithmic counts (iterations, restarts) are
+still gated.
+
+:func:`inject_slowdown` is the self-test: CI multiplies a current
+payload's time metrics by 2× and asserts the comparator flags it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: metric-name fragments, checked in order: first match wins
+_HIGHER_IS_BETTER = ("speedup", "throughput", "rate", "hit")
+#: unit suffixes only match at the end of the path ("bytes_sent" and
+#: "ortho_steps" must not read as time)
+_TIME_SUFFIXES = ("_ms", "_s")
+_TIME_LIKE = ("seconds", "time", "t_fact", "t_solve",
+              "t_seq", "apply", "setup", "wall")
+_COUNT_LIKE = ("iterations", "iteration", "restarts", "solves",
+               "applies", "matvecs", "syncs", "messages")
+_SIZE_LIKE = ("bytes", "nnz", "dim", "memory")
+#: subtrees that are identity, not performance
+_SKIP_SUBTREES = ("provenance", "capability_table", "problem")
+#: problem-context keys that define the measurement scale
+_SCALE_KEYS = ("n_free", "num_subdomains", "smoke", "workload",
+               "coarse_dim", "n", "degree")
+
+
+def classify(path: str) -> str:
+    """Metric kind for dotted *path*: ``higher`` / ``time`` / ``count``
+    / ``size`` / ``info`` (informational, not gated)."""
+    leaf = path.lower()
+    for frag in _HIGHER_IS_BETTER:
+        if frag in leaf:
+            return "higher"
+    for frag in _COUNT_LIKE:
+        if frag in leaf:
+            return "count"
+    if leaf.endswith(_TIME_SUFFIXES):
+        return "time"
+    for frag in _TIME_LIKE:
+        if frag in leaf:
+            return "time"
+    for frag in _SIZE_LIKE:
+        if frag in leaf:
+            return "size"
+    return "info"
+
+
+def flatten_metrics(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of *payload* as ``dotted.path -> value``.
+
+    Booleans and identity subtrees (provenance, capability tables, the
+    problem description) are excluded; list elements use their index as
+    a path segment.
+    """
+    out: dict[str, float] = {}
+
+    def walk(node, path):
+        if isinstance(node, dict):
+            for k, v in node.items():
+                if not path and k in _SKIP_SUBTREES:
+                    continue
+                walk(v, f"{path}.{k}" if path else str(k))
+        elif isinstance(node, list):
+            for i, v in enumerate(node):
+                walk(v, f"{path}.{i}")
+        elif isinstance(node, bool):
+            return
+        elif isinstance(node, (int, float)) and path:
+            out[path] = float(node)
+
+    walk(payload, prefix)
+    return out
+
+
+def same_scale(baseline: dict, current: dict) -> bool:
+    """True when the payloads measured the same problem scale (their
+    ``problem`` sections agree on every scale key both carry)."""
+    pb = baseline.get("problem") or {}
+    pc = current.get("problem") or {}
+    for key in _SCALE_KEYS:
+        if key in pb and key in pc and pb[key] != pc[key]:
+            return False
+    return True
+
+
+@dataclass
+class Thresholds:
+    """Noise-tolerant gating thresholds, per metric kind.
+
+    The defaults are deliberately generous — CI machines are shared and
+    noisy; the gate exists to catch *clear* regressions (the injected
+    2× slowdown self-test), not 10% wobbles.
+    """
+
+    #: a time metric regresses past ``baseline * time_ratio + time_abs``
+    time_ratio: float = 1.6
+    time_abs: float = 5e-3            # seconds of absolute slack
+    #: counts regress past ``baseline * count_ratio + count_abs``
+    count_ratio: float = 1.3
+    count_abs: float = 2.0
+    size_ratio: float = 1.5
+    size_abs: float = 4096.0
+    #: higher-is-better metrics regress below ``baseline / higher_ratio``
+    higher_ratio: float = 1.6
+
+    def limit(self, kind: str, baseline: float) -> float:
+        if kind == "time":
+            return baseline * self.time_ratio + self.time_abs
+        if kind == "count":
+            return baseline * self.count_ratio + self.count_abs
+        if kind == "size":
+            return baseline * self.size_ratio + self.size_abs
+        if kind == "higher":
+            return baseline / self.higher_ratio
+        raise ValueError(f"kind {kind!r} is not gated")
+
+
+@dataclass
+class MetricCheck:
+    """One gated metric's verdict."""
+
+    metric: str
+    kind: str
+    baseline: float
+    current: float
+    limit: float
+    status: str          # "ok" | "regression" | "improved" | "skipped"
+    reason: str = ""
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+
+@dataclass
+class RegressionReport:
+    """The comparator's verdict over one or more bench files."""
+
+    name: str
+    checks: list[MetricCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricCheck]:
+        return [c for c in self.checks if c.status == "regression"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for c in self.checks:
+            out[c.status] = out.get(c.status, 0) + 1
+        return out
+
+    def merge(self, other: "RegressionReport") -> None:
+        self.checks.extend(other.checks)
+        self.notes.extend(other.notes)
+
+    def render(self, *, verbose: bool = False) -> str:
+        from ..common.asciiplot import table
+
+        verdict = "PASS" if self.passed else "FAIL"
+        parts = [f"regression gate [{self.name}]: {verdict} "
+                 + " ".join(f"{k}={v}" for k, v in
+                            sorted(self.counts().items()))]
+        shown = self.checks if verbose else [
+            c for c in self.checks if c.status in ("regression",
+                                                   "improved")]
+        if shown:
+            rows = [[c.metric, c.kind, f"{c.baseline:g}",
+                     f"{c.current:g}", f"{c.ratio:.2f}x", c.status]
+                    for c in shown]
+            parts.append(table(["metric", "kind", "baseline", "current",
+                                "ratio", "status"], rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        verdict = "✅ PASS" if self.passed else "❌ FAIL"
+        lines = [f"# Performance regression report — {verdict}", "",
+                 f"**{self.name}**: "
+                 + ", ".join(f"{v} {k}" for k, v in
+                             sorted(self.counts().items())), ""]
+        if self.checks:
+            lines += ["| metric | kind | baseline | current | ratio "
+                      "| status |", "|---|---|---:|---:|---:|---|"]
+            ordered = sorted(
+                self.checks,
+                key=lambda c: (c.status != "regression",
+                               c.status != "improved", c.metric))
+            for c in ordered:
+                lines.append(f"| `{c.metric}` | {c.kind} "
+                             f"| {c.baseline:g} | {c.current:g} "
+                             f"| {c.ratio:.2f}x | {c.status} |")
+        lines.append("")
+        for note in self.notes:
+            lines.append(f"> {note}")
+        return "\n".join(lines) + "\n"
+
+
+def compare(baseline: dict, current: dict, *, name: str = "bench",
+            thresholds: Thresholds | None = None) -> RegressionReport:
+    """Gate *current* against *baseline* (two bench JSON payloads)."""
+    th = thresholds or Thresholds()
+    report = RegressionReport(name=name)
+    scale_ok = same_scale(baseline, current)
+    if not scale_ok:
+        report.notes.append(
+            "problem scales differ (e.g. smoke run vs full-scale "
+            "baseline): time/size/speedup metrics skipped, "
+            "algorithmic counts still gated")
+    base = flatten_metrics(baseline)
+    cur = flatten_metrics(current)
+    pb, pc = baseline.get("provenance", {}), current.get("provenance", {})
+    for key in ("kernel_backend", "precision"):
+        if pb.get(key) and pc.get(key) and pb[key] != pc[key]:
+            report.notes.append(
+                f"provenance mismatch: {key} {pb[key]!r} (baseline) vs "
+                f"{pc[key]!r} (current)")
+    for metric in sorted(base):
+        if metric not in cur:
+            continue
+        kind = classify(metric)
+        b, c = base[metric], cur[metric]
+        if kind == "info":
+            continue
+        if kind in ("time", "size", "higher") and not scale_ok:
+            report.checks.append(MetricCheck(
+                metric, kind, b, c, float("nan"), "skipped",
+                "scale mismatch"))
+            continue
+        limit = th.limit(kind, b)
+        if kind == "higher":
+            if c < limit:
+                status, reason = "regression", \
+                    f"below {limit:g} (= baseline / {th.higher_ratio})"
+            elif b and c > b * 1.1:
+                status, reason = "improved", ""
+            else:
+                status, reason = "ok", ""
+        else:
+            if c > limit:
+                status, reason = "regression", f"above limit {limit:g}"
+            elif b and c < b / 1.25:
+                status, reason = "improved", ""
+            else:
+                status, reason = "ok", ""
+        report.checks.append(MetricCheck(metric, kind, b, c, limit,
+                                         status, reason))
+    return report
+
+
+def compare_files(baseline_path, current_path, *,
+                  thresholds: Thresholds | None = None
+                  ) -> RegressionReport:
+    baseline = json.loads(Path(baseline_path).read_text())
+    current = json.loads(Path(current_path).read_text())
+    return compare(baseline, current, name=Path(current_path).stem,
+                   thresholds=thresholds)
+
+
+def compare_dirs(baseline_dir, current_dir, *,
+                 pattern: str = "BENCH_*.json",
+                 thresholds: Thresholds | None = None
+                 ) -> RegressionReport:
+    """Gate every matching bench file present in *both* directories."""
+    baseline_dir, current_dir = Path(baseline_dir), Path(current_dir)
+    report = RegressionReport(name=f"{current_dir} vs {baseline_dir}")
+    matched = 0
+    for bpath in sorted(baseline_dir.glob(pattern)):
+        cpath = current_dir / bpath.name
+        if not cpath.exists():
+            report.notes.append(f"{bpath.name}: no current run, skipped")
+            continue
+        matched += 1
+        sub = compare_files(bpath, cpath, thresholds=thresholds)
+        for c in sub.checks:
+            c.metric = f"{bpath.stem}:{c.metric}"
+        report.merge(sub)
+    if not matched:
+        report.notes.append(
+            f"no baseline/current pairs matched {pattern!r} — "
+            f"nothing gated")
+    return report
+
+
+def inject_slowdown(payload: dict, factor: float = 2.0) -> dict:
+    """Return a copy of *payload* with every time-like and count-like
+    metric multiplied by *factor* — the synthetic regression CI uses to
+    self-test the gate (a gate that cannot flag a 2× slowdown is not a
+    gate)."""
+    def walk(node, path=""):
+        if isinstance(node, dict):
+            return {k: (v if not path and k in _SKIP_SUBTREES
+                        else walk(v, f"{path}.{k}" if path else str(k)))
+                    for k, v in node.items()}
+        if isinstance(node, list):
+            return [walk(v, f"{path}.{i}") for i, v in enumerate(node)]
+        if isinstance(node, bool):
+            return node
+        if isinstance(node, (int, float)) and path \
+                and classify(path) in ("time", "count"):
+            return node * factor
+        return node
+
+    return walk(payload)

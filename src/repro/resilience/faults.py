@@ -242,9 +242,14 @@ class FaultInjector:
         i, spec = hit
         self._record(spec, rank)
         if spec.kind == "kill":
-            raise RankFailure(
+            exc = RankFailure(
                 f"injected fault: rank {rank} killed at {op} call "
                 f"{spec.nth}", rank=rank, op=op)
+            if self.recorder.ring is not None:
+                # flight-recorder mode: the black box rides on the
+                # failure so the last K spans/events survive the crash
+                exc.flight = self.recorder.flight_dump()
+            raise exc
         if spec.kind == "delay":
             time.sleep(spec.delay)
             return payload

@@ -104,8 +104,14 @@ class HealthMonitor:
         profile = None
         if self.profiler is not None:
             profile = self.profiler.as_dict()
-        raise cls(message, x=x, residuals=list(self.residuals),
+        exc = cls(message, x=x, residuals=list(self.residuals),
                   iteration=kc, profile=profile)
+        if self.recorder.ring is not None:
+            # flight-recorder mode: snapshot the ring buffers onto the
+            # breakdown so the last K spans/events reach
+            # SolveReport.resilience["flight_recorder"]
+            exc.flight = self.recorder.flight_dump()
+        raise exc
 
     def observe(self, k: int, residual: float, x=None) -> None:
         """One per-iteration health check (drivers call this exactly

@@ -412,3 +412,171 @@ class TestCLI:
         capsys.readouterr()
         assert main(["trace", str(path)]) == 0
         assert "phase totals" in capsys.readouterr().out
+
+    def test_report_and_metrics_subcommands(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "run.json"
+        main(["solve", "--problem", "diffusion2d", "--n", "12",
+              "--subdomains", "4", "--nev", "4", "--tol", "1e-8",
+              "--telemetry", str(path)])
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out and "convergence" in out
+        assert main(["metrics", str(path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert out.rstrip().endswith("# EOF")
+
+    def test_regress_selftest(self, tmp_path, capsys):
+        import json as _json
+        from repro.cli import main
+        bench = tmp_path / "BENCH_unit.json"
+        bench.write_text(_json.dumps({
+            "problem": {"n": 16, "smoke": True},
+            "apply_ms": 10.0, "iterations": 12}))
+        assert main(["regress", "--selftest", str(bench)]) == 0
+        assert "FLAGGED" in capsys.readouterr().out
+
+
+class TestTraceFidelity:
+    """Counters/gauges/events survive both formats bit-for-bit."""
+
+    @pytest.mark.parametrize("fmt", ["chrome", "jsonl"])
+    def test_counters_and_gauges_round_trip(self, sample_recorder, fmt,
+                                            tmp_path):
+        sample_recorder.add("mpi.pair_msgs.0->1", 3)
+        sample_recorder.gauge("coarse.dim", 32.5)
+        path = tmp_path / f"t.{fmt}"
+        write_trace(sample_recorder, path, format=fmt)
+        trace = load_trace(path)
+        assert trace.counters == sample_recorder.counters
+        assert trace.gauges == sample_recorder.gauges
+
+    def test_chrome_without_otherdata_still_loads_counters(
+            self, sample_recorder, tmp_path):
+        # a trace post-processed by chrome tooling may lose the
+        # otherData block; the "C" samples alone must reconstruct
+        # counters and gauges
+        doc = to_chrome_trace(sample_recorder)
+        del doc["otherData"]["counters"]
+        del doc["otherData"]["gauges"]
+        path = tmp_path / "stripped.json"
+        path.write_text(json.dumps(doc))
+        trace = load_trace(path)
+        assert trace.counters == {"matvecs": 4}
+        assert trace.gauges == {"coarse_dim": 8}
+
+    def test_render_shows_counter_and_event_tables(self,
+                                                   sample_recorder):
+        out = render_trace(sample_recorder)
+        assert "counters and gauges" in out
+        assert "matvecs" in out and "coarse_dim" in out
+        assert "events (1 total)" in out
+        assert "iteration" in out
+
+
+class TestFlightRecorder:
+    def test_ring_bounds_spans_and_events(self):
+        rec = Recorder(ring=4)
+        for i in range(10):
+            with rec.span(f"s{i}"):
+                pass
+            rec.event(f"e{i}")
+        assert [s.name for s in rec.spans] == ["s6", "s7", "s8", "s9"]
+        assert [e.name for e in rec.events] == ["e6", "e7", "e8", "e9"]
+        dump = rec.flight_dump()
+        assert dump["ring"] == 4
+        assert dump["spans_total"] == 10
+        assert dump["events_total"] == 10
+        assert len(dump["spans"]) == 4
+        json.dumps(dump)                    # serialisable as-is
+
+    def test_unbounded_recorder_dump(self):
+        rec = Recorder()
+        with rec.span("a"):
+            pass
+        assert rec.ring is None
+        dump = rec.flight_dump()
+        assert dump["spans_total"] == 1
+
+    def test_null_recorder_ring_is_none(self):
+        assert NULL_RECORDER.ring is None
+        assert NULL_RECORDER.flight_dump() == {}
+
+    def test_dump_attached_on_injected_kill(self):
+        from repro import SchwarzSolver
+        from repro.common.errors import RankFailure
+        from repro.fem.forms import DiffusionForm
+        from repro.mesh import unit_square
+        from repro.resilience import FaultPlan, FaultSpec
+
+        plan = FaultPlan(faults=[FaultSpec(kind="kill", op="local_solve",
+                                           rank=1, nth=2)])
+        rec = Recorder(ring=32)
+        solver = SchwarzSolver(unit_square(10), DiffusionForm(degree=1),
+                               num_subdomains=4, nev=2, recorder=rec,
+                               faults=plan)
+        with pytest.raises(RankFailure) as excinfo:
+            solver.solve(tol=1e-8)
+        flight = excinfo.value.flight
+        assert flight is not None
+        assert flight["ring"] == 32
+        assert flight["spans"], "black box must carry recent spans"
+        assert len(flight["spans"]) <= 32
+
+    def test_dump_lands_in_resilience_report(self):
+        from repro import SchwarzSolver
+        from repro.fem.forms import DiffusionForm
+        from repro.mesh import unit_square
+        from repro.resilience import FaultPlan, FaultSpec
+
+        plan = FaultPlan(faults=[FaultSpec(kind="kill", op="local_solve",
+                                           rank=1, nth=2)])
+        rec = Recorder(ring=32)
+        solver = SchwarzSolver(unit_square(10), DiffusionForm(degree=1),
+                               num_subdomains=4, nev=2, recorder=rec,
+                               faults=plan, recovery="restart")
+        report = solver.solve(tol=1e-8)
+        assert report.converged
+        flight = report.resilience.get("flight_recorder")
+        assert flight is not None
+        assert flight["ring"] == 32
+        # the dump is from the moment of the (recovered) failure
+        assert flight["spans_total"] <= rec.flight_dump()["spans_total"]
+
+
+class TestOverhead:
+    def test_disabled_paths_stay_cheap(self):
+        # the NullRecorder fast path and the flight ring must both be
+        # cheap enough to leave on: generous 5x bound on a hot loop
+        # (CI machines are noisy; this guards against accidental
+        # O(trace-size) work per operation, not percentage points)
+        import timeit
+
+        null = NULL_RECORDER
+        ring = Recorder(ring=64)
+
+        def loop(rec):
+            for _ in range(200):
+                with rec.span("op"):
+                    pass
+                rec.add("n")
+
+        t_null = min(timeit.repeat(lambda: loop(null), number=5,
+                                   repeat=5))
+        t_ring = min(timeit.repeat(lambda: loop(ring), number=5,
+                                   repeat=5))
+        t_base = min(timeit.repeat(lambda: None, number=1000, repeat=5))
+        assert t_null < 50 * t_base + 1e-3, \
+            "NullRecorder span must be near-free"
+        # ring mode does real work but must stay O(1) per span
+        assert t_ring < 100 * max(t_null, 1e-6) + 0.05
+
+    def test_ring_memory_stays_bounded(self):
+        rec = Recorder(ring=16)
+        for i in range(5000):
+            with rec.span("s"):
+                pass
+            rec.event("e")
+        assert len(rec.spans) == 16
+        assert len(rec.events) == 16

@@ -1,0 +1,305 @@
+"""Tests for the trace-analytics layer (repro.obs.analysis) and the
+OpenMetrics exposition (repro.obs.metrics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (Recorder, analyze, comm_matrix,
+                       convergence_forensics, critical_path,
+                       critical_paths, fit_decay_rate, load_imbalance,
+                       load_trace, snapshot, to_openmetrics,
+                       validate_openmetrics, write_trace)
+from repro.obs.analysis import stagnation_run
+from repro.obs.export import TraceData
+from repro.obs.recorder import EventRecord, SpanRecord
+
+
+def span(name, start, end, index, parent=None, track="main"):
+    return SpanRecord(name=name, track=track, start=start, end=end,
+                      index=index, parent=parent)
+
+
+@pytest.fixture
+def nested_trace():
+    """Hand-built tree with a known dominant chain.
+
+    root(0..10) -> heavy(1..9) -> inner(2..5); heavy also has a lighter
+    child light(6..8) the path must NOT descend into.  A second, shorter
+    root(20..23) checks root selection.
+    """
+    return TraceData(spans=[
+        span("root", 0.0, 10.0, 0),
+        span("heavy", 1.0, 9.0, 1, parent=0),
+        span("inner", 2.0, 5.0, 2, parent=1),
+        span("light", 6.0, 8.0, 3, parent=1),
+        span("other_root", 20.0, 23.0, 4),
+    ])
+
+
+class TestCriticalPath:
+    def test_descends_into_largest_child(self, nested_trace):
+        path = critical_path(nested_trace)
+        assert [p.name for p in path] == ["root", "heavy", "inner"]
+        assert [p.depth for p in path] == [0, 1, 2]
+
+    def test_self_time_excludes_children(self, nested_trace):
+        path = critical_path(nested_trace)
+        by_name = {p.name: p for p in path}
+        # root: 10s total, heavy covers 8 -> 2s self
+        assert by_name["root"].self_seconds == pytest.approx(2.0)
+        # heavy: 8s total, inner (3) + light (2) cover 5 -> 3s self
+        assert by_name["heavy"].self_seconds == pytest.approx(3.0)
+        # leaf: all self
+        assert by_name["inner"].self_seconds == pytest.approx(3.0)
+
+    def test_fractions_relative_to_root(self, nested_trace):
+        path = critical_path(nested_trace)
+        assert path[0].fraction == pytest.approx(1.0)
+        assert path[1].fraction == pytest.approx(0.8)
+
+    def test_named_root(self, nested_trace):
+        path = critical_path(nested_trace, root="other_root")
+        assert [p.name for p in path] == ["other_root"]
+
+    def test_empty_trace(self):
+        assert critical_path(TraceData()) == []
+
+    def test_multi_root_timeline(self, nested_trace):
+        # both roots appear, ordered by start time, each with depth 0
+        path = critical_paths(nested_trace)
+        roots = [p.name for p in path if p.depth == 0]
+        assert roots == ["root", "other_root"]
+        assert [p.name for p in path] == ["root", "heavy", "inner",
+                                          "other_root"]
+
+
+class TestLoadImbalance:
+    def test_task_indexed_spans_group_by_index(self):
+        # geneo[i] with durations 1, 1, 4 -> mean 2, max 4, ratio 2
+        trace = TraceData(spans=[
+            span("geneo[0]", 0.0, 1.0, 0),
+            span("geneo[1]", 0.0, 1.0, 1),
+            span("geneo[2]", 0.0, 4.0, 2),
+        ])
+        (st,) = load_imbalance(trace)
+        assert st.name == "geneo"
+        assert st.instances == 3
+        assert st.mean == pytest.approx(2.0)
+        assert st.max == pytest.approx(4.0)
+        assert st.ratio == pytest.approx(2.0)
+        assert st.argmax == "[2]"
+
+    def test_plain_spans_group_by_track(self):
+        trace = TraceData(spans=[
+            span("apply", 0.0, 1.0, 0, track="rank0"),
+            span("apply", 0.0, 3.0, 1, track="rank1"),
+        ])
+        (st,) = load_imbalance(trace)
+        assert st.instances == 2
+        assert st.argmax == "rank1"
+        assert st.ratio == pytest.approx(1.5)
+
+    def test_single_instance_phases_skipped(self):
+        trace = TraceData(spans=[span("setup", 0.0, 1.0, 0)])
+        assert load_imbalance(trace) == []
+
+    def test_repeats_accumulate_per_instance(self):
+        # two apply calls on the same track sum before comparing
+        trace = TraceData(spans=[
+            span("apply", 0.0, 1.0, 0, track="rank0"),
+            span("apply", 2.0, 3.0, 1, track="rank0"),
+            span("apply", 0.0, 2.0, 2, track="rank1"),
+        ])
+        (st,) = load_imbalance(trace)
+        assert st.max == pytest.approx(2.0)
+        assert st.ratio == pytest.approx(1.0)
+
+
+class TestCommMatrix:
+    def test_ring_exchange_from_meter_and_trace(self, tmp_path):
+        # rank r sends one float64[4] array (32 byte payload) to
+        # (r + 1) % n: the comm matrix must be the cyclic permutation,
+        # both from the live meter and reconstructed from the trace file
+        from repro.mpi.simmpi import run_spmd
+        from repro.mpi.meter import Meter
+
+        n = 4
+        rec = Recorder()
+        meter = Meter(n, recorder=rec)
+
+        def ring(comm):
+            payload = np.arange(4, dtype=np.float64)
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            req = comm.isend(payload, right)
+            got = comm.recv(left)
+            req.wait()
+            return got
+
+        run_spmd(n, ring, meter=meter, recorder=rec)
+
+        exact = comm_matrix(meter)
+        expected = np.zeros((n, n))
+        for r in range(n):
+            expected[r, (r + 1) % n] = 1
+        np.testing.assert_array_equal(exact.messages, expected)
+        np.testing.assert_array_equal(exact.bytes, 32 * expected)
+        assert sorted(exact.neighbors(0)) == [1, 3]
+
+        # round-trip through a trace file: same matrix, no meter needed
+        path = tmp_path / "ring.json"
+        write_trace(rec, path)
+        rebuilt = comm_matrix(load_trace(path))
+        np.testing.assert_array_equal(rebuilt.messages, exact.messages)
+        np.testing.assert_array_equal(rebuilt.bytes, exact.bytes)
+
+    def test_empty_renders_placeholder(self):
+        m = comm_matrix(TraceData())
+        assert "no point-to-point" in m.render()
+
+    def test_render_shows_totals(self):
+        trace = TraceData(counters={
+            "mpi.pair_msgs.0->1": 3, "mpi.pair_bytes.0->1": 96})
+        m = comm_matrix(trace)
+        text = m.render()
+        assert "3 messages" in text
+        assert "96 bytes" in text
+
+
+class TestConvergenceForensics:
+    def test_decay_rate_on_geometric_history(self):
+        residuals = [1.0 * 0.5 ** k for k in range(10)]
+        assert fit_decay_rate(residuals) == pytest.approx(0.5)
+
+    def test_decay_rate_unfittable(self):
+        assert math.isnan(fit_decay_rate([1.0]))
+        assert math.isnan(fit_decay_rate([0.0, -1.0]))
+
+    def test_stagnation_run_flat_history(self):
+        assert stagnation_run([1.0] * 8) == 7
+        assert stagnation_run([1.0 * 0.5 ** k for k in range(8)]) == 0
+
+    def test_forensics_on_decaying_events(self):
+        rec = Recorder()
+        for k in range(12):
+            rec.event("iteration", attrs={"k": k, "residual": 0.5 ** k})
+        diag = convergence_forensics(rec)
+        assert diag.iterations == 12
+        assert diag.decay_rate == pytest.approx(0.5, rel=1e-6)
+        assert diag.iterations_per_digit == pytest.approx(
+            -1.0 / math.log10(0.5))
+        assert not diag.stagnating
+        assert not diag.orthogonality_loss
+
+    def test_forensics_flags_stagnation(self):
+        rec = Recorder()
+        for k in range(15):
+            rec.event("iteration", attrs={"k": k, "residual": 1.0})
+        diag = convergence_forensics(rec)
+        assert diag.stagnating
+        assert diag.stagnation_window >= 10
+
+    def test_forensics_counts_health_and_restarts(self):
+        rec = Recorder()
+        rec.event("iteration", attrs={"k": 0, "residual": 1.0})
+        rec.event("iteration", attrs={"k": 1, "residual": 0.5})
+        rec.event("health.orthogonality", attrs={"k": 1})
+        rec.event("restart", attrs={"k": 1})
+        rec.event("recovery.restart", attrs={})
+        diag = convergence_forensics(rec)
+        assert diag.health_events == {"orthogonality": 1}
+        assert diag.orthogonality_loss
+        assert diag.restarts == 1
+        assert diag.recovery_restarts == 1
+
+
+class TestAnalyzeAndReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro import SchwarzSolver
+        from repro.fem.forms import DiffusionForm
+        from repro.mesh import unit_square
+
+        rec = Recorder()
+        solver = SchwarzSolver(unit_square(12), DiffusionForm(degree=1),
+                               num_subdomains=4, nev=2, recorder=rec)
+        solver.solve(tol=1e-8)
+        return analyze(rec)
+
+    def test_real_solve_produces_all_sections(self, report):
+        assert report.path, "critical path must be non-empty"
+        names = [p.name for p in report.path if p.depth == 0]
+        assert "setup" in names and "solution" in names
+        assert any(st.name == "geneo" for st in report.imbalance)
+        assert report.convergence.iterations > 0
+        assert 0 < report.convergence.decay_rate < 1
+
+    def test_render_contains_all_tables(self, report):
+        text = report.render()
+        for needle in ("critical path", "load imbalance", "convergence",
+                       "run summary"):
+            assert needle in text
+
+    def test_markdown_renders(self, report):
+        md = report.to_markdown()
+        assert md.startswith("# repro run report")
+        for needle in ("## Critical path", "## Load imbalance",
+                       "## Communication", "## Convergence"):
+            assert needle in md
+
+
+class TestMetrics:
+    @pytest.fixture
+    def rec(self):
+        rec = Recorder()
+        rec.add("matvecs", 5)
+        rec.add("mpi.pair_msgs.0->1", 3)
+        rec.add("mpi.pair_bytes.0->1", 96)
+        rec.gauge("coarse.dim", 32)
+        with rec.span("apply"):
+            pass
+        rec.event("iteration", attrs={"k": 0, "residual": 1.0})
+        return rec
+
+    def test_snapshot_shape(self, rec):
+        snap = snapshot(rec, extra={"run": "t"})
+        assert snap["counters"]["matvecs"] == 5
+        assert snap["gauges"]["coarse.dim"] == 32
+        assert snap["spans"]["apply"]["count"] == 1
+        assert snap["num_events"] == 1
+        assert snap["run"] == "t"
+
+    def test_openmetrics_valid_and_complete(self, rec):
+        text = to_openmetrics(rec)
+        validate_openmetrics(text)
+        assert "repro_matvecs_total 5" in text
+        assert ('repro_mpi_pair_msgs_total{dst="1",src="0"} 3'
+                in text)
+        assert "repro_coarse_dim 32" in text
+        assert 'repro_span_calls_total{span="apply"} 1' in text
+        assert text.rstrip().endswith("# EOF")
+
+    def test_colliding_names_merged_with_label(self):
+        rec = Recorder()
+        rec.gauge("coarse.dim", 1)
+        rec.gauge("coarse_dim", 2)
+        text = to_openmetrics(rec)
+        validate_openmetrics(text)
+        assert 'repro_coarse_dim{name="coarse.dim"} 1' in text
+        assert 'repro_coarse_dim{name="coarse_dim"} 2' in text
+
+    def test_extra_labels_on_every_sample(self, rec):
+        text = to_openmetrics(rec, labels={"run": "bench42"})
+        validate_openmetrics(text)
+        assert 'repro_matvecs_total{run="bench42"} 5' in text
+
+    def test_validator_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_openmetrics("repro_x 1\n")  # no EOF
+        with pytest.raises(ValueError):
+            validate_openmetrics("!bad line\n# EOF\n")
+        with pytest.raises(ValueError):
+            validate_openmetrics(
+                "# TYPE a gauge\na 1\n# TYPE a gauge\na 2\n# EOF\n")

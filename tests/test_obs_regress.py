@@ -1,0 +1,197 @@
+"""Tests for the performance-regression gate (repro.obs.regress)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (RegressionReport, Thresholds, compare,
+                       compare_dirs, compare_files, inject_slowdown)
+from repro.obs.regress import classify, flatten_metrics, same_scale
+
+RESULTS = Path(__file__).resolve().parents[1] / "results"
+
+
+def payload(**extra):
+    """A minimal bench payload in the tracked BENCH_*.json shape."""
+    out = {
+        "provenance": {"kernel_backend": "numpy", "precision": "fp64"},
+        "problem": {"n": 32, "num_subdomains": 8, "smoke": False},
+        "apply_ms": 10.0,
+        "iterations": 12,
+        "speedup_vs_numpy": 2.0,
+        "coarse_nnz": 768,
+        "label": "not-a-number",
+    }
+    out.update(extra)
+    return out
+
+
+class TestClassify:
+    @pytest.mark.parametrize("path,kind", [
+        ("backends.fp32.apply_ms", "time"),
+        ("t_fact", "time"),
+        ("setup_seconds", "time"),
+        ("iterations", "count"),
+        ("counters.kernel.compiled_local_applies", "count"),
+        ("coarse_nnz", "size"),
+        ("bytes_sent", "size"),
+        ("apply_speedup_vs_numpy", "higher"),
+        ("residual", "info"),
+    ])
+    def test_kinds(self, path, kind):
+        assert classify(path) == kind
+
+
+class TestFlatten:
+    def test_numeric_leaves_only(self):
+        flat = flatten_metrics(payload())
+        assert flat["apply_ms"] == 10.0
+        assert flat["iterations"] == 12.0
+        assert "label" not in flat
+
+    def test_identity_subtrees_excluded(self):
+        flat = flatten_metrics(payload())
+        assert not any(k.startswith(("provenance", "problem"))
+                       for k in flat)
+
+    def test_nested_and_lists(self):
+        flat = flatten_metrics({"a": {"b": [1, 2]}, "flag": True})
+        assert flat == {"a.b.0": 1.0, "a.b.1": 2.0}
+
+
+class TestSameScale:
+    def test_equal_scales(self):
+        assert same_scale(payload(), payload())
+
+    def test_smoke_vs_full_differs(self):
+        smoke = payload()
+        smoke["problem"] = dict(smoke["problem"], smoke=True)
+        assert not same_scale(payload(), smoke)
+
+    def test_missing_problem_section_is_compatible(self):
+        assert same_scale({}, payload())
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self):
+        report = compare(payload(), payload())
+        assert report.passed
+        assert all(c.status == "ok" for c in report.checks)
+
+    def test_injected_slowdown_flagged(self):
+        slow = inject_slowdown(payload(), factor=2.0)
+        report = compare(payload(), slow)
+        assert not report.passed
+        flagged = {c.metric for c in report.regressions}
+        assert "apply_ms" in flagged
+        assert "iterations" in flagged
+
+    def test_small_wobble_tolerated(self):
+        wobbly = payload(apply_ms=11.5, iterations=13)
+        assert compare(payload(), wobbly).passed
+
+    def test_speedup_drop_flagged(self):
+        report = compare(payload(), payload(speedup_vs_numpy=1.0))
+        assert any(c.metric == "speedup_vs_numpy"
+                   and c.status == "regression"
+                   for c in report.checks)
+
+    def test_improvement_reported(self):
+        report = compare(payload(), payload(apply_ms=5.0))
+        assert report.passed
+        assert any(c.metric == "apply_ms" and c.status == "improved"
+                   for c in report.checks)
+
+    def test_scale_mismatch_skips_scale_dependent_metrics(self):
+        # a smoke run: slower per-apply, tiny speedup, huge nnz — none
+        # of that is comparable to the full-scale baseline
+        smoke = payload(apply_ms=400.0, coarse_nnz=10 ** 7,
+                        speedup_vs_numpy=1.1)
+        smoke["problem"] = dict(smoke["problem"], smoke=True, n=8)
+        report = compare(payload(), smoke)
+        by_metric = {c.metric: c for c in report.checks}
+        assert by_metric["apply_ms"].status == "skipped"
+        assert by_metric["coarse_nnz"].status == "skipped"
+        assert by_metric["speedup_vs_numpy"].status == "skipped"
+        # algorithmic counts are still gated across scales
+        assert by_metric["iterations"].status == "ok"
+        assert report.passed
+        assert any("scales differ" in n for n in report.notes)
+
+    def test_scale_mismatch_still_gates_iteration_blowup(self):
+        smoke = payload(iterations=40)
+        smoke["problem"] = dict(smoke["problem"], smoke=True)
+        report = compare(payload(), smoke)
+        assert any(c.metric == "iterations" and c.status == "regression"
+                   for c in report.checks)
+
+    def test_provenance_mismatch_noted(self):
+        other = payload()
+        other["provenance"] = {"kernel_backend": "compiled",
+                               "precision": "fp64"}
+        report = compare(payload(), other)
+        assert any("kernel_backend" in n for n in report.notes)
+
+    def test_custom_thresholds(self):
+        th = Thresholds(time_ratio=1.05, time_abs=0.0)
+        report = compare(payload(), payload(apply_ms=11.5),
+                         thresholds=th)
+        assert not report.passed
+
+
+class TestFilesAndDirs:
+    def test_compare_dirs_round_trip(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        (base / "BENCH_x.json").write_text(json.dumps(payload()))
+        (cur / "BENCH_x.json").write_text(
+            json.dumps(inject_slowdown(payload())))
+        report = compare_dirs(base, cur)
+        assert not report.passed
+        assert all(c.metric.startswith("BENCH_x:")
+                   for c in report.checks)
+
+    def test_unmatched_baseline_noted(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        (base / "BENCH_only.json").write_text(json.dumps(payload()))
+        report = compare_dirs(base, cur)
+        assert report.passed
+        assert any("no current run" in n or "nothing gated" in n
+                   for n in report.notes)
+
+    @pytest.mark.skipif(not (RESULTS / "BENCH_kernel_backends.json")
+                        .exists(), reason="no tracked baselines")
+    def test_tracked_baselines_self_compare(self):
+        # every tracked bench file gates cleanly against itself, and
+        # the injected 2x slowdown is always flagged (the CI self-test)
+        for path in sorted(RESULTS.glob("BENCH_*.json")):
+            data = json.loads(path.read_text())
+            assert compare(data, data, name=path.stem).passed
+            assert not compare(data, inject_slowdown(data),
+                               name=path.stem).passed
+
+
+class TestReportRendering:
+    def test_render_and_markdown(self):
+        report = compare(payload(), inject_slowdown(payload()),
+                         name="unit")
+        text = report.render()
+        assert "FAIL" in text and "regression" in text
+        md = report.to_markdown()
+        assert md.startswith("# Performance regression report")
+        assert "FAIL" in md and "`apply_ms`" in md
+
+    def test_pass_render(self):
+        report = compare(payload(), payload(), name="unit")
+        assert "PASS" in report.render()
+        assert "PASS" in report.to_markdown()
+
+    def test_merge_accumulates(self):
+        a = compare(payload(), payload(), name="a")
+        b = compare(payload(), inject_slowdown(payload()), name="b")
+        n_a, n_b = len(a.checks), len(b.checks)
+        a.merge(b)
+        assert len(a.checks) == n_a + n_b
+        assert not a.passed
