@@ -350,6 +350,70 @@ def cmd_regress(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_chaos(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import Recorder
+    from .resilience.chaos import ChaosConfig, run_campaign
+
+    cfg = ChaosConfig(
+        solves=args.solves, nranks=args.ranks, seed=args.seed,
+        kill_rate=args.kill_rate, drop_rate=args.drop_rate,
+        delay_rate=args.delay_rate, corrupt_rate=args.corrupt_rate,
+        storm_rate=args.storm_rate, spares=args.spares,
+        checkpoint_every=args.checkpoint_every, timeout=args.timeout,
+        mesh_n=args.n, tol=args.tol)
+    recorder = Recorder(ring=args.flight_recorder) \
+        if args.flight_recorder else None
+
+    def progress(s, record):
+        status = "ok" if record["survived"] else "FAILED"
+        extras = []
+        if record["planned_faults"]:
+            kinds = sorted({f["kind"] for f in record["planned_faults"]})
+            extras.append("+".join(kinds))
+        if record["repairs"]:
+            extras.append(f"{record['repairs']} repair(s)")
+        if record["error"]:
+            extras.append(record["error"][:60])
+        print(f"  solve {s:3d}: {status:6s} {' '.join(extras)}")
+
+    print(f"chaos campaign: {cfg.solves} solves x {cfg.nranks} ranks, "
+          f"seed {cfg.seed}, {cfg.spares} spare(s), survival floor "
+          f"{args.floor:.0%}")
+    report = run_campaign(cfg, recorder=recorder,
+                          progress=progress if args.verbose else None)
+    d = report.to_dict()
+    ttr = d["time_to_recover"]
+    print(f"survival: {d['survived']}/{d['solves']} "
+          f"({d['survival_rate']:.1%}), {d['faulted_solves']} faulted "
+          f"solves, {d['repairs']} repairs, faults {d['fault_totals']}")
+    if ttr["count"]:
+        print(f"time-to-recover: mean {ttr['mean'] * 1e3:.1f} ms, "
+              f"max {ttr['max'] * 1e3:.1f} ms over {ttr['count']} "
+              f"repair(s)")
+    if args.out:
+        d["config"] = {
+            "solves": cfg.solves, "nranks": cfg.nranks, "seed": cfg.seed,
+            "spares": cfg.spares, "checkpoint_every": cfg.checkpoint_every,
+            "rates": {"kill": cfg.kill_rate, "drop": cfg.drop_rate,
+                      "delay": cfg.delay_rate, "corrupt": cfg.corrupt_rate,
+                      "storm": cfg.storm_rate}}
+        Path(args.out).write_text(json.dumps(d, indent=2, sort_keys=True)
+                                  + "\n")
+        print(f"campaign report written to {args.out}")
+    if recorder is not None and args.flight_out:
+        Path(args.flight_out).write_text(
+            json.dumps(recorder.flight_dump(), indent=2) + "\n")
+        print(f"flight-recorder dump written to {args.flight_out}")
+    if d["survival_rate"] < args.floor:
+        print(f"FAIL: survival {d['survival_rate']:.1%} below the "
+              f"{args.floor:.0%} floor")
+        return 1
+    return 0
+
+
 def cmd_info(args) -> int:
     mesh, form, clamp = build_problem(args)
     space = form.make_space(mesh)
@@ -537,6 +601,57 @@ def make_parser() -> argparse.ArgumentParser:
                          "slowdown into this payload and require it to "
                          "be flagged")
     pg.set_defaults(fn=cmd_regress)
+
+    pc = sub.add_parser("chaos", help="seeded chaos soak campaign over "
+                                      "many fault-tolerant SPMD solves "
+                                      "(exit 1 below the survival "
+                                      "floor)")
+    pc.add_argument("--solves", type=int, default=50,
+                    help="number of campaign solves (default: 50)")
+    pc.add_argument("--ranks", type=int, default=6,
+                    help="SPMD ranks per solve (default: 6)")
+    pc.add_argument("--seed", type=int, default=2013,
+                    help="campaign seed; the whole fault sequence is a "
+                         "pure function of it (default: 2013)")
+    pc.add_argument("--kill-rate", type=float, default=0.35,
+                    help="per-solve probability of a rank kill")
+    pc.add_argument("--drop-rate", type=float, default=0.35,
+                    help="per-solve probability of a transient message "
+                         "drop")
+    pc.add_argument("--delay-rate", type=float, default=0.25,
+                    help="per-solve probability of a message delay")
+    pc.add_argument("--corrupt-rate", type=float, default=0.10,
+                    help="per-solve probability of a payload "
+                         "corruption")
+    pc.add_argument("--storm-rate", type=float, default=0.05,
+                    help="per-solve probability of a retry-budget-"
+                         "exceeding drop burst")
+    pc.add_argument("--spares", type=int, default=2,
+                    help="warm spare ranks per solve (default: 2)")
+    pc.add_argument("--checkpoint-every", type=int, default=1,
+                    help="replicate an iterate checkpoint every k "
+                         "restart cycles; 0 disables checkpointing "
+                         "(default: 1)")
+    pc.add_argument("--timeout", type=float, default=5.0,
+                    help="failure-detection timeout per solve "
+                         "(default: 5.0 s)")
+    pc.add_argument("--floor", type=float, default=0.95,
+                    help="required survival rate (default: 0.95)")
+    pc.add_argument("--n", type=int, default=12,
+                    help="smoke-problem mesh resolution (default: 12)")
+    pc.add_argument("--tol", type=float, default=1e-6,
+                    help="solver tolerance (default: 1e-6)")
+    pc.add_argument("--out", default="",
+                    help="write the campaign report JSON here")
+    pc.add_argument("--flight-recorder", type=int, default=0,
+                    metavar="RING",
+                    help="attach a flight recorder with this ring size")
+    pc.add_argument("--flight-out", default="",
+                    help="write the flight-recorder dump JSON here "
+                         "(requires --flight-recorder)")
+    pc.add_argument("--verbose", action="store_true",
+                    help="print a line per solve")
+    pc.set_defaults(fn=cmd_chaos)
     return p
 
 

@@ -28,6 +28,7 @@ from .geneo import GeneoResult, compute_deflation, geneo_pencil, nicolaides_defl
 from .ras import OneLevelASM, OneLevelRAS
 from .ritz import arnoldi, harmonic_ritz_pairs, ritz_deflation
 from .solver import SchwarzSolver, SolveReport
+from .spmd_ft import SpmdFtReport, solve_spmd_ft
 
 __all__ = [
     "AbstractDeflation",
@@ -63,4 +64,6 @@ __all__ = [
     "nicolaides_deflation",
     "geneo_pencil",
     "GeneoResult",
+    "SpmdFtReport",
+    "solve_spmd_ft",
 ]

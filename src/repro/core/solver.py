@@ -445,6 +445,18 @@ class SchwarzSolver:
                         if (not policy.active
                                 or resilience["restarts"]
                                 >= policy.max_restarts):
+                            if policy.active:
+                                # restart budget exhausted: distinguish
+                                # "never recovered" from "recovery off"
+                                resilience["giveup"] = \
+                                    resilience.get("giveup", 0) + 1
+                                if self.recorder.enabled:
+                                    self.recorder.event(
+                                        "recovery.giveup", attrs={
+                                            "reason": type(exc).__name__,
+                                            "restarts":
+                                                resilience["restarts"]})
+                                exc.resilience = resilience
                             if self.recorder.ring is not None \
                                     and getattr(exc, "flight",
                                                 None) is None:

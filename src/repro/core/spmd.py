@@ -92,11 +92,20 @@ class SpmdRank:
     coarse: DistributedCholesky | None = None
     row_starts: np.ndarray | None = None
     nu_all: np.ndarray | None = None
+    #: pristine (unfactorized) coarse row block — only retained with
+    #: ``assemble_coarse_spmd(..., keep_rows=True)`` so a repaired run
+    #: can refactorize E without redoing algorithms 1-2
+    rows: np.ndarray | None = None
     _tag_counter: int = field(default=0)
 
     @property
     def sub(self):
         return self.dec.subdomains[self.index]
+
+    def reset_tags(self) -> None:
+        """Re-align the rotating exchange tag counter (used after a
+        communicator repair, where a substitute starts from 0)."""
+        self._tag_counter = 0
 
     def _span(self, label: str):
         """Optional tracing span (no-op unless a Tracer is attached to
@@ -210,7 +219,8 @@ class SpmdRank:
 def assemble_coarse_spmd(comm: Comm, dec: Decomposition,
                          space: DeflationSpace, P: int, *,
                          nonuniform: bool = False,
-                         factor_backend: str = "superlu") -> SpmdRank:
+                         factor_backend: str = "superlu",
+                         keep_rows: bool = False) -> SpmdRank:
     """Run algorithms 1 and 2 on this rank; returns the rank state with
     the distributed coarse factorization installed on the masters."""
     i = comm.rank
@@ -274,6 +284,8 @@ def assemble_coarse_spmd(comm: Comm, dec: Decomposition,
         # numerical factorization (line 33) — cooperative on masterComm
         master_rows = np.array([offsets[layout.masters[p]]
                                 for p in range(mc.size)] + [mdim])
+        if keep_rows:
+            rank.rows = rows.copy()
         rank.coarse = DistributedCholesky(mc, master_rows, rows)
         rank.row_starts = master_rows
         rank.nu_all = nu_all

@@ -59,6 +59,8 @@ class RankStats:
     global_syncs: int = 0
     #: injected faults observed on this rank, keyed by fault kind
     faults: dict[str, int] = field(default_factory=dict)
+    #: sender-side retry attempts made by this rank (drop absorption)
+    retries: int = 0
     #: point-to-point traffic by destination world rank (sends only —
     #: the matching recv is the destination's problem)
     peer_msgs: dict[int, int] = field(default_factory=dict)
@@ -90,6 +92,12 @@ class Meter:
         #: optional :class:`repro.mpi.trace.Tracer` for span recording
         self.tracer = None
         self.recorder = NULL_RECORDER if recorder is None else recorder
+        #: fault-tolerance aggregates (whole-run, not per-rank)
+        self.rank_deaths = 0
+        self.repairs = 0
+        self.ranks_replaced = 0
+        self.retries_recovered = 0
+        self.retries_exhausted = 0
 
     def stats(self, world_rank: int) -> RankStats:
         return self._stats[world_rank]
@@ -147,6 +155,50 @@ class Meter:
         if rec.enabled:
             rec.add(f"mpi.fault.{kind}", 1)
 
+    def on_retry(self, world_rank: int) -> None:
+        """One sender-side retry attempt after an injected drop."""
+        if not 0 <= world_rank < self.world_size:
+            world_rank = 0
+        with self._lock:
+            self._stats[world_rank].retries += 1
+        rec = self.recorder
+        if rec.enabled:
+            rec.add("mpi.retry_attempts", 1)
+
+    def on_retry_outcome(self, world_rank: int, recovered: bool) -> None:
+        """The retry loop for one dropped message finished: either a
+        later attempt got through (*recovered*) or the budget ran out
+        and the message was lost for good."""
+        with self._lock:
+            if recovered:
+                self.retries_recovered += 1
+            else:
+                self.retries_exhausted += 1
+        rec = self.recorder
+        if rec.enabled:
+            rec.add("mpi.retry_recovered" if recovered
+                    else "mpi.retry_exhausted", 1)
+
+    def on_rank_death(self, world_rank: int) -> None:
+        """A rank died (injected kill absorbed by the FT registry)."""
+        with self._lock:
+            self.rank_deaths += 1
+        rec = self.recorder
+        if rec.enabled:
+            rec.add("mpi.rank_deaths", 1)
+
+    def on_repair(self, nreplaced: int) -> None:
+        """A communicator repair completed, substituting *nreplaced*
+        spares for dead ranks."""
+        with self._lock:
+            self.repairs += 1
+            self.ranks_replaced += nreplaced
+        rec = self.recorder
+        if rec.enabled:
+            rec.add("mpi.repairs", 1)
+            if nreplaced:
+                rec.add("mpi.ranks_replaced", nreplaced)
+
     # ------------------------------------------------------------------
     def total_messages(self) -> int:
         return sum(s.sends for s in self._stats)
@@ -165,6 +217,17 @@ class Meter:
 
     def total_faults(self) -> int:
         return sum(sum(s.faults.values()) for s in self._stats)
+
+    def faults_by_kind(self) -> dict[str, int]:
+        """Injected-fault counts aggregated over ranks, keyed by kind."""
+        out: dict[str, int] = {}
+        for s in self._stats:
+            for kind, n in s.faults.items():
+                out[kind] = out.get(kind, 0) + n
+        return out
+
+    def total_retries(self) -> int:
+        return sum(s.retries for s in self._stats)
 
     def comm_matrix(self, weight: str = "bytes") -> np.ndarray:
         """Rank-to-rank point-to-point traffic matrix.
@@ -195,4 +258,14 @@ class Meter:
         nf = self.total_faults()
         if nf:
             out["faults"] = nf
+        nr = self.total_retries()
+        if nr:
+            out["retries"] = nr
+            out["retries_recovered"] = self.retries_recovered
+            out["retries_exhausted"] = self.retries_exhausted
+        if self.rank_deaths:
+            out["rank_deaths"] = self.rank_deaths
+        if self.repairs:
+            out["repairs"] = self.repairs
+            out["ranks_replaced"] = self.ranks_replaced
         return out

@@ -14,6 +14,30 @@ mpi4py tutorial): ``send/recv/isend/irecv``, ``bcast``, ``gather(v)``,
 ``scatter(v)``, ``allgather``, ``allreduce``, ``alltoall``, ``split``,
 plus the MPI-3 ``dist_graph_create_adjacent`` + ``ineighbor_alltoall``
 used in algorithm 1.
+
+Fault tolerance (ULFM-style)
+----------------------------
+``run_spmd(..., ft=True)`` (implied by ``spares=K``) arms the
+user-level failure-mitigation surface modelled on MPI-ULFM:
+
+* a rank whose function raises its *own* :class:`RankFailure` (an
+  injected kill) is marked **dead** in a shared failure registry
+  instead of aborting the whole run; every blocking primitive on the
+  surviving ranks then raises a typed :class:`RankFailure` naming the
+  dead peer;
+* :meth:`Comm.agree` is the survivor-only agreement collective (it
+  completes even while peers are dying), :meth:`Comm.shrink` builds a
+  new communicator over the survivors;
+* :meth:`Comm.repair` revokes the world communicator, rendezvouses
+  every survivor, substitutes parked **spare** worker threads for the
+  dead world ranks, purges all mailboxes/barriers and resumes — the
+  substitute's ``fn`` starts with ``comm.repair_plan`` set so it can
+  join the application-level recovery protocol
+  (:mod:`repro.core.spmd_ft`);
+* a :class:`~repro.resilience.faults.RetryPolicy` (``retry=`` or the
+  fault plan's ``retry`` entry) absorbs injected ``drop`` faults on
+  the sender side with exponential backoff before they can escalate
+  to a receive timeout.
 """
 
 from __future__ import annotations
@@ -97,6 +121,141 @@ class _ErrorBox:
 
 
 # ----------------------------------------------------------------------
+# Fault tolerance: failure registry, spare ranks, communicator repair
+# ----------------------------------------------------------------------
+
+class _SpareSlot:
+    """One parked spare worker waiting to adopt a dead world rank."""
+
+    __slots__ = ("sid", "event", "rank", "plan", "shutdown")
+
+    def __init__(self, sid: int):
+        self.sid = sid
+        self.event = threading.Event()
+        self.rank: int | None = None      # adopted world rank
+        self.plan: dict | None = None     # repair plan at adoption time
+        self.shutdown = False
+
+
+class _FtState:
+    """Shared fault-tolerance state of one ``run_spmd(ft=True)`` run.
+
+    Tracks the dead set (world rank → exception), the revoked flag, the
+    parked spares and every :class:`_Context` of the run (world plus
+    splits/shrinks) so :meth:`do_repair` can purge mailboxes and reset
+    barriers across the whole communicator tree.  All rendezvous
+    (``agree``/``shrink``/``repair``) run through condition-variable
+    *gates* keyed per context whose membership is re-evaluated as ranks
+    die, so a mid-rendezvous death cannot hang the collective.
+    """
+
+    def __init__(self, meter: Meter | None, recorder):
+        self.lock = threading.RLock()
+        self.cond = threading.Condition(self.lock)
+        self.meter = meter
+        self.recorder = recorder
+        self.dead: dict[int, BaseException] = {}
+        self.finished: set[int] = set()
+        self.revoked = False
+        self.epoch = 0
+        self.gates: dict[tuple, dict] = {}
+        self.contexts: list["_Context"] = []
+        self.spares: list[_SpareSlot] = []
+        self.repairs: list[dict] = []
+        self._first_death_ts: float | None = None
+
+    def register(self, ctx: "_Context") -> None:
+        with self.lock:
+            self.contexts.append(ctx)
+
+    def _wake(self) -> None:
+        """Abort every barrier of the run so blocked ranks re-check the
+        registry (the ULFM revoke/death broadcast)."""
+        with self.lock:
+            contexts = list(self.contexts)
+        for c in contexts:
+            c.barrier.abort()
+
+    def live(self, ctx: "_Context") -> set[int]:
+        """World ranks of *ctx* currently expected at a rendezvous."""
+        return {w for w in ctx.world_ranks
+                if w not in self.dead and w not in self.finished}
+
+    def mark_dead(self, world_rank: int, exc: BaseException) -> None:
+        with self.cond:
+            if world_rank not in self.dead:
+                self.dead[world_rank] = exc
+                if self._first_death_ts is None:
+                    self._first_death_ts = time.monotonic()
+                if self.meter is not None:
+                    self.meter.on_rank_death(world_rank)
+                rec = self.recorder
+                if rec is not None and rec.enabled:
+                    rec.event("recovery.rank_death", attrs={
+                        "rank": int(world_rank),
+                        "op": getattr(exc, "op", None) or ""})
+            self.cond.notify_all()
+        self._wake()
+
+    def mark_finished(self, world_rank: int) -> None:
+        with self.cond:
+            self.finished.add(world_rank)
+            self.cond.notify_all()
+
+    def revoke(self) -> None:
+        with self.cond:
+            self.revoked = True
+            self.cond.notify_all()
+        self._wake()
+
+    # -- the repair transaction (runs under self.lock) -----------------
+    def do_repair(self) -> dict:
+        dead = sorted(self.dead)
+        self.epoch += 1
+        plan = {"ok": True, "epoch": self.epoch, "dead": dead,
+                "replaced": {}, "repair_seconds": 0.0, "reason": ""}
+        if self.finished:
+            plan["ok"] = False
+            plan["reason"] = (f"ranks {sorted(self.finished)} already "
+                              "returned; cannot rejoin a repair")
+        free = [s for s in self.spares if s.rank is None and not s.shutdown]
+        if plan["ok"] and len(free) < len(dead):
+            plan["ok"] = False
+            plan["reason"] = (f"{len(dead)} dead rank(s) but only "
+                              f"{len(free)} spare(s) left")
+        if not plan["ok"]:
+            # dead/revoked stay set: every survivor's next op fails and
+            # the run aborts with the repair failure
+            self.repairs.append(plan)
+            return plan
+        assigned = list(zip(dead, free))
+        for r, slot in assigned:
+            slot.rank = r
+            plan["replaced"][r] = slot.sid
+        for c in list(self.contexts):
+            c.reset_for_repair()
+        self.dead.clear()
+        self.revoked = False
+        if self._first_death_ts is not None:
+            plan["repair_seconds"] = time.monotonic() - self._first_death_ts
+        self._first_death_ts = None
+        if self.meter is not None:
+            self.meter.on_repair(len(dead))
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.event("recovery.comm_repair", attrs={
+                "epoch": self.epoch,
+                "dead": ",".join(map(str, dead)),
+                "spares_used": len(dead),
+                "spares_left": len(free) - len(dead)})
+        self.repairs.append(plan)
+        for r, slot in assigned:
+            slot.plan = plan
+            slot.event.set()
+        return plan
+
+
+# ----------------------------------------------------------------------
 # Requests
 # ----------------------------------------------------------------------
 
@@ -175,8 +334,12 @@ def waitany(requests: list[Request]) -> tuple[int, object]:
             done, value = rq.test()
             if done:
                 return i, value
-        if time.monotonic() > deadline:  # pragma: no cover - deadlock guard
-            raise CommunicatorError("waitany timed out (deadlock?)")
+        if time.monotonic() > deadline:
+            # typed so fault-tolerant drivers can funnel a dropped
+            # message (nobody died, the payload is just gone) into a
+            # zero-dead communicator repair and re-send after rollback
+            raise RankFailure("waitany timed out (dropped message or "
+                              "dead peer?)", rank=-1, op="waitany")
         time.sleep(_POLL)
 
 
@@ -189,7 +352,9 @@ class _Context:
 
     def __init__(self, world_ranks: tuple[int, ...], meter: Meter,
                  error_box: _ErrorBox, *, is_world: bool,
-                 injector=None, timeout: float = _TIMEOUT):
+                 injector=None, timeout: float = _TIMEOUT,
+                 ft: _FtState | None = None, poll: float = _ERR_POLL,
+                 retry=None):
         self.world_ranks = world_ranks
         self.size = len(world_ranks)
         self.meter = meter
@@ -199,11 +364,35 @@ class _Context:
         self.injector = injector
         #: blocking-op deadline; tightened when a fault plan is active
         self.timeout = timeout
+        #: shared fault-tolerance state (None on non-FT runs)
+        self.ft = ft
+        #: error-box/failure-registry poll period while blocked
+        self.poll = poll
+        #: optional :class:`repro.resilience.faults.RetryPolicy` for
+        #: sender-side absorption of injected drops
+        self.retry = retry
         self.barrier = threading.Barrier(self.size)
         self.slots: list = [None] * self.size
         self.lock = threading.Lock()
         self.mailboxes: dict[tuple[int, int, int], queue.SimpleQueue] = {}
         self.split_cache: dict = {}
+        if ft is not None:
+            ft.register(self)
+
+    def reset_for_repair(self) -> None:
+        """Purge in-flight state after a communicator repair: stale
+        messages to/from the dead rank are discarded wholesale (the
+        application-level recovery protocol re-sends what matters) and
+        the barrier returns to its empty working state."""
+        with self.lock:
+            for q in self.mailboxes.values():
+                while True:
+                    try:
+                        q.get_nowait()
+                    except queue.Empty:
+                        break
+            self.slots = [None] * self.size
+        self.barrier.reset()
 
 
 class Comm:
@@ -214,6 +403,11 @@ class Comm:
         self.rank = rank
         self.size = ctx.size
         self._split_count = 0
+        #: set on a substituted spare's world comm: the repair plan it
+        #: was adopted under (None on original ranks)
+        self.repair_plan: dict | None = None
+        #: True when this rank is a spare that adopted a dead world rank
+        self.adopted = False
 
     # -- identity ------------------------------------------------------
     @property
@@ -229,6 +423,35 @@ class Comm:
         if not (0 <= r < self.size):
             raise CommunicatorError(
                 f"{what} {r} out of range for communicator of size {self.size}")
+
+    # -- fault tolerance -------------------------------------------------
+    def _require_ft(self, what: str) -> _FtState:
+        ft = self._ctx.ft
+        if ft is None:
+            raise CommunicatorError(
+                f"{what} requires a fault-tolerant run "
+                "(run_spmd(..., ft=True) or spares > 0)")
+        return ft
+
+    def _ft_check(self, *, peer: int | None = None) -> None:
+        """Raise the typed failure when the communicator is revoked or a
+        peer this operation depends on is dead (FT runs only)."""
+        ft = self._ctx.ft
+        if ft is None:
+            return
+        if ft.revoked:
+            raise RankFailure(
+                "communicator revoked for repair", rank=-1, op="revoked")
+        if ft.dead:
+            if peer is not None:
+                wr = self._ctx.world_ranks[peer]
+                if wr in ft.dead:
+                    raise RankFailure(
+                        f"peer world rank {wr} is dead", rank=wr, op="peer")
+            else:
+                wr = min(ft.dead)
+                raise RankFailure(
+                    f"world rank {wr} is dead", rank=wr, op="peer")
 
     # -- fault injection -------------------------------------------------
     def _fault(self, op: str, payload=None):
@@ -258,13 +481,37 @@ class Comm:
 
     def send(self, obj, dest: int, tag: int = 0, *,
              _metered: bool = True) -> None:
-        """Blocking (buffered) send."""
+        """Blocking (buffered) send.
+
+        With a :class:`~repro.resilience.faults.RetryPolicy` attached
+        (``run_spmd(retry=...)`` or the fault plan's ``retry`` entry) an
+        injected drop is absorbed on the sender side: the send is
+        re-attempted with exponential backoff up to ``max_retries``
+        times before the message is finally lost (each attempt passes
+        through the injector again, so the retry sequence is as
+        deterministic as the fault plan)."""
         self._check_rank(dest, "dest")
-        if self._ctx.injector is not None:
-            obj = self._fault("send", obj)
+        ctx = self._ctx
+        self._ft_check(peer=dest)
+        if ctx.injector is not None:
             from ..resilience.faults import DROP
-            if obj is DROP:        # injected message loss: never delivered
-                return
+            out = self._fault("send", obj)
+            if out is DROP:        # injected message loss
+                rp = ctx.retry
+                if rp is None:
+                    return         # never delivered: peer recv times out
+                recovered = False
+                for attempt in range(rp.max_retries):
+                    self.meter.on_retry(self.world_rank)
+                    time.sleep(rp.delay(attempt))
+                    out = self._fault("send", obj)
+                    if out is not DROP:
+                        recovered = True
+                        break
+                self.meter.on_retry_outcome(self.world_rank, recovered)
+                if not recovered:
+                    return         # retry budget exhausted: message lost
+            obj = out
         if _metered:
             self.meter.on_send(self.world_rank, payload_bytes(obj),
                                dest=self._ctx.world_ranks[dest])
@@ -279,19 +526,24 @@ class Comm:
         q = self._mailbox(source, self.rank, tag)
         deadline = time.monotonic() + self._ctx.timeout
         while True:
-            # honor the shared error box on every poll cycle: a peer's
-            # failure surfaces within _ERR_POLL seconds even while this
-            # rank is blocked waiting for a message that will never come
+            # honor the shared error box (and, on FT runs, the failure
+            # registry) on every poll cycle: a peer's failure surfaces
+            # within ctx.poll seconds even while this rank is blocked
+            # waiting for a message that will never come
             self._ctx.error_box.check()
+            self._ft_check(peer=source)
             try:
-                obj = q.get(timeout=_ERR_POLL)
+                obj = q.get(timeout=self._ctx.poll)
             except queue.Empty:
                 if time.monotonic() > deadline:
+                    # report the peer's WORLD rank: failure handlers
+                    # compare against comm.world_rank (own-death check)
                     raise RankFailure(
                         f"recv(source={source}, tag={tag}) timed out on rank "
                         f"{self.rank} after {self._ctx.timeout:.1f}s "
                         f"(dropped message or dead peer?)",
-                        rank=source, op="recv") from None
+                        rank=self._ctx.world_ranks[source], op="recv") \
+                        from None
                 continue
             if self._ctx.injector is not None:
                 obj = self._fault("recv", obj)
@@ -301,6 +553,7 @@ class Comm:
 
     def _mailbox_poll(self, source: int, tag: int, *, metered: bool = True):
         self._ctx.error_box.check()
+        self._ft_check(peer=source)
         q = self._mailbox(source, self.rank, tag)
         try:
             obj = q.get_nowait()
@@ -325,12 +578,14 @@ class Comm:
     # -- collectives -----------------------------------------------------
     def _barrier_wait(self) -> None:
         self._ctx.error_box.check()
+        self._ft_check()
         try:
             self._ctx.barrier.wait(timeout=self._ctx.timeout)
         except threading.BrokenBarrierError:
             # the abort broadcast: a failed rank aborts the barrier so
             # survivors wake immediately and raise the typed failure
             self._ctx.error_box.check()
+            self._ft_check()
             raise RankFailure("barrier broken (a rank died?)") from None
 
     def _exchange(self, value, op: str = "exchange"):
@@ -430,16 +685,25 @@ class Comm:
     # -- communicator management ----------------------------------------
     def split(self, color, key: int | None = None) -> "Comm | None":
         """Split into sub-communicators by *color*; ``None`` color returns
-        ``None`` (the MPI_COMM_NULL of the paper's slave-side masterComm)."""
+        ``None`` (the MPI_COMM_NULL of the paper's slave-side masterComm).
+
+        The split generation (cache key) is agreed as the max over the
+        participants' local counters: after a communicator repair a
+        substitute rank starts from generation 0 while survivors have
+        advanced, and the max-sync realigns them on the first collective
+        re-split (on fault-free runs all counters are equal and this is
+        the identity)."""
         self._split_count += 1
-        gen = self._split_count
         if key is None:
             key = self.rank
         self._record("split", 0)
-        infos = self._exchange((color, key, self.rank), "split")
+        infos = self._exchange((color, key, self.rank, self._split_count),
+                               "split")
+        gen = max(g for _, _, _, g in infos)
+        self._split_count = gen
         if color is None:
             return None
-        members = sorted((k, r) for c, k, r in infos if c == color)
+        members = sorted((k, r) for c, k, r, _ in infos if c == color)
         ranks = [r for _, r in members]
         new_rank = ranks.index(self.rank)
         ctx = self._ctx
@@ -450,9 +714,108 @@ class Comm:
                 sub = _Context(
                     tuple(ctx.world_ranks[r] for r in ranks),
                     ctx.meter, ctx.error_box, is_world=False,
-                    injector=ctx.injector, timeout=ctx.timeout)
+                    injector=ctx.injector, timeout=ctx.timeout,
+                    ft=ctx.ft, poll=ctx.poll, retry=ctx.retry)
                 ctx.split_cache[cache_key] = sub
         return Comm(sub, new_rank)
+
+    # -- ULFM-style fault-tolerance collectives ---------------------------
+    def _ft_gather(self, name: str, value, finalize=None):
+        """Survivor-only rendezvous: deposit *value*, wait until every
+        live member of this communicator has deposited, return the
+        ``{world_rank: value}`` map (or, with *finalize*, the result of
+        running ``finalize(values)`` exactly once under the registry
+        lock).  Membership is re-evaluated as ranks die, so a
+        mid-rendezvous death cannot hang the collective — the ULFM
+        ``MPI_Comm_agree`` completion guarantee."""
+        ft = self._require_ft(f"{name}()")
+        ctx = self._ctx
+        wr = self.world_rank
+        deadline = time.monotonic() + ctx.timeout
+        key = (id(ctx), name)
+        with ft.cond:
+            gate = ft.gates.setdefault(
+                key, {"gen": 0, "vals": {}, "out": None, "result": None})
+            mygen = gate["gen"]
+            gate["vals"][wr] = value
+            ft.cond.notify_all()
+            while gate["gen"] == mygen:
+                if set(gate["vals"]) >= ft.live(ctx):
+                    gate["out"] = dict(gate["vals"])
+                    gate["result"] = (None if finalize is None
+                                      else finalize(gate["out"]))
+                    gate["vals"] = {}
+                    gate["gen"] = mygen + 1
+                    ft.cond.notify_all()
+                    break
+                if time.monotonic() > deadline:
+                    raise CommunicatorError(
+                        f"{name} rendezvous timed out (deadlock?)")
+                ft.cond.wait(ctx.poll)
+                ctx.error_box.check()
+            if finalize is not None:
+                return gate["result"]
+            return dict(gate["out"])
+
+    def agree(self, value, op: str = "and"):
+        """Fault-tolerant agreement over the surviving ranks (ULFM
+        ``MPI_Comm_agree``): completes even while peers are dying and
+        returns the same reduced value on every survivor.  ``op="and"``
+        is the ULFM bitwise/logical AND; ``sum``/``min``/``max`` are
+        accepted too.  Contributions of ranks that die mid-call may or
+        may not be included (as in ULFM)."""
+        if op == "and":
+            fn = lambda a, b: a & b                       # noqa: E731
+        else:
+            fn = _resolve_op(op)
+        vals = self._ft_gather("agree", value)
+        items = [v for _, v in sorted(vals.items())]
+        return _functools_reduce(fn, items)
+
+    def shrink(self) -> "Comm":
+        """Build a new communicator over the surviving ranks of this one
+        (ULFM ``MPI_Comm_shrink``).  Rank order follows ascending world
+        rank; the result is a fully functional communicator excluding
+        the dead."""
+        ctx = self._ctx
+
+        def finalize(vals):
+            members = sorted(vals)
+            sub = _Context(tuple(members), ctx.meter, ctx.error_box,
+                           is_world=False, injector=ctx.injector,
+                           timeout=ctx.timeout, ft=ctx.ft,
+                           poll=ctx.poll, retry=ctx.retry)
+            return members, sub
+
+        members, sub = self._ft_gather("shrink", self.world_rank,
+                                       finalize=finalize)
+        return Comm(sub, members.index(self.world_rank))
+
+    def repair(self) -> dict:
+        """Revoke, rendezvous every survivor, substitute parked spares
+        for the dead world ranks, and reset the communicator tree.
+
+        Returns the repair *plan*: ``{"ok", "epoch", "dead", "replaced"
+        (world rank → spare id), "repair_seconds"}``.  Every survivor
+        gets the same plan; each substituted spare starts ``fn`` with
+        the plan attached as ``comm.repair_plan``.  When the repair
+        cannot complete (spares exhausted, a rank already returned) a
+        :class:`RankFailure` is raised on every survivor and the run
+        aborts with it.  Must be called on the world communicator by
+        every live rank (survivors typically funnel here from the typed
+        failure their next blocking operation raised)."""
+        ft = self._require_ft("repair()")
+        if not self._ctx.is_world:
+            raise CommunicatorError(
+                "repair() must be called on the world communicator")
+        ft.revoke()
+        plan = self._ft_gather("repair", self.world_rank,
+                               finalize=lambda vals: ft.do_repair())
+        if not plan["ok"]:
+            raise RankFailure(
+                f"communicator repair failed: {plan['reason']}",
+                rank=-1, op="repair")
+        return plan
 
     def dist_graph_create_adjacent(self, neighbors) -> "NeighborComm":
         """Attach a distributed-graph topology (MPI-3) to this communicator."""
@@ -512,7 +875,9 @@ class NeighborComm:
 # ----------------------------------------------------------------------
 
 def run_spmd(nranks: int, fn, *args, meter: Meter | None = None,
-             recorder=None, faults=None, **kwargs) -> list:
+             recorder=None, faults=None, spares: int = 0,
+             ft: bool | None = None, retry=None,
+             poll_interval: float | None = None, **kwargs) -> list:
     """Run ``fn(comm, *args, **kwargs)`` on *nranks* simulated ranks.
 
     Each rank executes in its own thread against a shared world
@@ -533,9 +898,35 @@ def run_spmd(nranks: int, fn, *args, meter: Meter | None = None,
     failures surface as typed
     :class:`~repro.common.errors.RankFailure` errors instead of
     deadlocks.
+
+    Fault tolerance: ``spares=K`` parks K warm spare workers that can
+    adopt a dead rank's world rank through :meth:`Comm.repair`;
+    ``ft=True`` enables the failure registry without spares (shrink-only
+    recovery).  ``retry`` (a
+    :class:`~repro.resilience.faults.RetryPolicy`, a dict, or an int
+    retry budget) arms sender-side retry/backoff absorption of injected
+    drops; when omitted, an armed fault plan's own ``retry`` policy is
+    used.  ``poll_interval`` overrides the 20 ms error-box poll period
+    used while blocked in a communicator call; a fault plan's timeout
+    must be at least 4x the poll period so short-timeout plans cannot
+    race the poller.
+
+    On a fault-tolerant run, ranks that died without being repaired do
+    NOT abort the run once the survivors return: their slot in the
+    result list is ``None`` and callers decide whether partial results
+    are acceptable.  Errors other than an injected own-death (assertion
+    failures, peer-observed failures the caller did not absorb) abort
+    the run as before.
     """
     if nranks < 1:
         raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
+    if spares < 0:
+        raise CommunicatorError(f"spares must be >= 0, got {spares}")
+    ft_enabled = bool(spares) if ft is None else bool(ft)
+    poll = _ERR_POLL if poll_interval is None else float(poll_interval)
+    if poll <= 0:
+        raise CommunicatorError(
+            f"poll_interval must be > 0, got {poll_interval}")
     if meter is None:
         meter = Meter(nranks, recorder=recorder)
     elif recorder is not None and not meter.recorder.enabled:
@@ -549,28 +940,110 @@ def run_spmd(nranks: int, fn, *args, meter: Meter | None = None,
         from ..resilience.faults import as_injector
         injector = as_injector(faults, meter=meter, recorder=recorder)
         timeout = injector.timeout
+        if timeout < 4 * poll:
+            raise CommunicatorError(
+                f"fault-plan timeout {timeout}s is below 4x the error "
+                f"poll period {poll}s; blocked ranks could time out "
+                "before ever polling the failure registry "
+                "(raise plan.timeout or lower poll_interval)")
+    if retry is None and injector is not None:
+        retry = getattr(injector.plan, "retry", None)
+    if retry is not None:
+        from ..resilience.faults import as_retry
+        retry = as_retry(retry)
     error_box = _ErrorBox()
+    ftstate = _FtState(meter, recorder) if ft_enabled else None
     ctx = _Context(tuple(range(nranks)), meter, error_box, is_world=True,
-                   injector=injector, timeout=timeout)
+                   injector=injector, timeout=timeout,
+                   ft=ftstate, poll=poll, retry=retry)
     results: list = [None] * nranks
 
-    def worker(rank: int):
+    def fail(rank: int, exc: BaseException) -> None:
+        error_box.set(rank, exc)
+        if ftstate is not None:
+            ftstate._wake()
+        else:
+            ctx.barrier.abort()
+
+    def worker(rank: int, slot: _SpareSlot | None = None):
         comm = Comm(ctx, rank)
+        if slot is not None:
+            comm.repair_plan = slot.plan
+            comm.adopted = True
         try:
             results[rank] = fn(comm, *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - must unblock peers
-            error_box.set(rank, exc)
-            ctx.barrier.abort()
+            if (ftstate is not None and isinstance(exc, RankFailure)
+                    and exc.rank == rank):
+                # an injected kill of THIS rank: record the death and let
+                # the survivors repair/shrink around it.  Peer-observed
+                # failures carry the peer's rank (or -1) and fall through
+                # to the error box as unrecovered errors.
+                ftstate.mark_dead(rank, exc)
+            else:
+                fail(rank, exc)
+        else:
+            if ftstate is not None:
+                ftstate.mark_finished(rank)
 
-    threads = [threading.Thread(target=worker, args=(r,), daemon=True)
+    def spare_worker(slot: _SpareSlot):
+        while True:
+            slot.event.wait()
+            slot.event.clear()
+            if slot.shutdown:
+                return
+            if slot.rank is not None:
+                worker(slot.rank, slot)
+                return
+
+    threads = [threading.Thread(target=worker, args=(r,), daemon=True,
+                                name=f"spmd-rank-{r}")
                for r in range(nranks)]
+    spare_threads: list[threading.Thread] = []
+    if ftstate is not None:
+        for s in range(spares):
+            slot = _SpareSlot(s)
+            ftstate.spares.append(slot)
+            t = threading.Thread(target=spare_worker, args=(slot,),
+                                 daemon=True, name=f"spmd-spare-{s}")
+            spare_threads.append(t)
     for t in threads:
         t.start()
-    for t in threads:
-        t.join(timeout=_TIMEOUT)
-        if t.is_alive():  # pragma: no cover - deadlock guard
-            error_box.set(-1, TimeoutError("rank thread failed to join"))
-            ctx.barrier.abort()
+    for t in spare_threads:
+        t.start()
+    try:
+        for t in threads:
+            t.join(timeout=_TIMEOUT)
+            if t.is_alive():  # pragma: no cover - deadlock guard
+                fail(-1, TimeoutError("rank thread failed to join"))
+        if ftstate is not None:
+            # adopted spares run the same fn and must finish too
+            while True:
+                with ftstate.lock:
+                    active = [s for s in ftstate.spares
+                              if s.rank is not None and not s.shutdown]
+                busy = [t for s, t in zip(ftstate.spares, spare_threads)
+                        if s.rank is not None and t.is_alive()]
+                if not busy:
+                    break
+                for t in busy:
+                    t.join(timeout=_TIMEOUT)
+                    if t.is_alive():  # pragma: no cover - deadlock guard
+                        fail(-1, TimeoutError(
+                            "substituted spare failed to join"))
+                        break
+                else:
+                    continue
+                break
+            del active
+    finally:
+        if ftstate is not None:
+            with ftstate.lock:
+                for s in ftstate.spares:
+                    s.shutdown = True
+                    s.event.set()
+            for t in spare_threads:
+                t.join(timeout=5.0)
     if error_box.error is not None:
         rank, exc = error_box.error
         raise exc

@@ -41,7 +41,8 @@ from .export import (
     to_jsonl,
     write_trace,
 )
-from .metrics import snapshot, to_openmetrics, validate_openmetrics
+from .metrics import (meter_counters, snapshot, to_openmetrics,
+                      validate_openmetrics)
 from .recorder import (
     NULL_RECORDER,
     EventRecord,
@@ -91,6 +92,7 @@ __all__ = [
     "CommMatrix",
     "ConvergenceDiagnostics",
     # metrics
+    "meter_counters",
     "snapshot",
     "to_openmetrics",
     "validate_openmetrics",

@@ -52,16 +52,48 @@ def _label_str(labels: dict[str, str]) -> str:
     return "{" + inner + "}"
 
 
-def snapshot(rec, *, extra: dict | None = None) -> dict:
+def meter_counters(meter) -> dict[str, float]:
+    """Counters a :class:`repro.mpi.meter.Meter` holds that are not
+    mirrored into a recorder — most importantly the per-kind
+    injected-fault counts (``MpiStats.faults``) and the
+    retry/repair/rank-death aggregates of fault-tolerant runs.  Only
+    nonzero values are exported (a fault-free run adds nothing)."""
+    out: dict[str, float] = {}
+    for kind, n in sorted(meter.faults_by_kind().items()):
+        out[f"mpi.fault.{kind}"] = float(n)
+    pairs = (("mpi.retry_attempts", meter.total_retries()),
+             ("mpi.retry_recovered", meter.retries_recovered),
+             ("mpi.retry_exhausted", meter.retries_exhausted),
+             ("mpi.rank_deaths", meter.rank_deaths),
+             ("mpi.repairs", meter.repairs),
+             ("mpi.ranks_replaced", meter.ranks_replaced))
+    for name, value in pairs:
+        if value:
+            out[name] = float(value)
+    return out
+
+
+def _merged_counters(rec, meter) -> dict[str, float]:
+    counters = dict(rec.counters)
+    if meter is not None:
+        # recorder-fed meters already mirror these into rec.counters;
+        # the meter's own tallies win (identical when mirrored, and the
+        # only copy on meters constructed without a recorder)
+        counters.update(meter_counters(meter))
+    return counters
+
+
+def snapshot(rec, *, extra: dict | None = None, meter=None) -> dict:
     """JSON-ready metrics snapshot: counters, gauges, span totals.
 
     The structured twin of :func:`to_openmetrics` — what a service
     endpoint returns to programmatic clients (the autotuner reads this
-    shape too).
+    shape too).  Passing the run's *meter* merges its fault/retry/repair
+    tallies into the counters (see :func:`meter_counters`).
     """
     totals = rec.totals() if hasattr(rec, "totals") else {}
     out = {
-        "counters": dict(rec.counters),
+        "counters": _merged_counters(rec, meter),
         "gauges": dict(rec.gauges),
         "spans": {name: {"seconds": t["seconds"], "count": t["count"]}
                   for name, t in totals.items()},
@@ -73,12 +105,15 @@ def snapshot(rec, *, extra: dict | None = None) -> dict:
 
 
 def to_openmetrics(rec, *, prefix: str = "repro",
-                   labels: dict[str, str] | None = None) -> str:
+                   labels: dict[str, str] | None = None,
+                   meter=None) -> str:
     """Render *rec* as an OpenMetrics text exposition.
 
     *labels* are attached to every sample (e.g. ``{"run": "bench42"}``
-    from a daemon serving several cached sessions).  The output ends
-    with the mandatory ``# EOF`` marker.
+    from a daemon serving several cached sessions).  Passing *meter*
+    merges its fault/retry/repair tallies (:func:`meter_counters`) into
+    the counter blocks.  The output ends with the mandatory ``# EOF``
+    marker.
     """
     base = dict(labels or {})
     lines: list[str] = []
@@ -111,7 +146,7 @@ def to_openmetrics(rec, *, prefix: str = "repro",
 
     pair_samples: dict[str, list[tuple[dict, float]]] = {}
     plain_counters: list[tuple[str, float]] = []
-    for name, value in sorted(rec.counters.items()):
+    for name, value in sorted(_merged_counters(rec, meter).items()):
         m = _PAIR_RE.match(name)
         if m:
             pair_samples.setdefault(m.group("weight"), []).append(

@@ -9,18 +9,31 @@ fallback chain, per-subdomain GenEO → Nicolaides degradation).  See
 ``docs/resilience.md``.
 """
 
-from .faults import DROP, FaultInjector, FaultPlan, FaultSpec, as_injector
+from .chaos import (ChaosConfig, ChaosReport, build_problem, random_plan,
+                    run_campaign)
+from .checkpoint import CheckpointStore, partner_map
+from .faults import (DROP, FaultInjector, FaultPlan, FaultSpec, RetryPolicy,
+                     as_injector, as_retry)
 from .health import HealthMonitor
 from .recovery import MODES, RecoveryPolicy, resolve_recovery
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "CheckpointStore",
     "DROP",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "RetryPolicy",
     "as_injector",
+    "as_retry",
+    "build_problem",
     "HealthMonitor",
     "MODES",
     "RecoveryPolicy",
+    "random_plan",
     "resolve_recovery",
+    "run_campaign",
+    "partner_map",
 ]

@@ -1,0 +1,262 @@
+"""Chaos soak harness: seeded randomized fault campaigns over many
+short fault-tolerant SPMD solves.
+
+At the paper's scales (N = 256-8192 subdomains) mean time between
+failures drops below one solve's wall clock, so "the solver survives
+faults" is a statistical claim, not a unit test.  This module makes it
+one number: :func:`run_campaign` runs ``solves`` smoke-sized SPMD
+solves, each under an independently seeded random :class:`FaultPlan`
+(kill / drop / delay / corrupt, rank- and time-randomized), through
+:func:`repro.core.spmd_ft.solve_spmd_ft`, and reports the survival rate
+(completed AND converged to tolerance), per-failure time-to-recover,
+and fault/repair totals.  The CLI entry is ``repro chaos``; the gated
+benchmark is ``benchmarks/bench_chaos_soak.py``.
+
+Determinism: every fault spec is **rank-pinned** (``rank=None``
+any-rank specs would fire on whichever thread reaches the call site
+first — scheduling-dependent), so a campaign's fault sequence is a pure
+function of ``(seed, solve index)`` and the per-solve fault counters
+replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import ReproError
+from .faults import FaultPlan, FaultSpec, RetryPolicy
+
+
+@dataclass
+class ChaosConfig:
+    """One campaign's knobs (defaults = the CI smoke campaign)."""
+
+    solves: int = 50
+    nranks: int = 6
+    seed: int = 2013
+    #: per-solve Bernoulli rates, by fault kind
+    kill_rate: float = 0.35
+    drop_rate: float = 0.35
+    delay_rate: float = 0.25
+    corrupt_rate: float = 0.10
+    #: rate of budget-exceeding drop bursts (exercise the repair path)
+    storm_rate: float = 0.05
+    spares: int = 2
+    checkpoint_every: int = 1
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: failure-detection timeout for the per-solve fault plans
+    timeout: float = 5.0
+    #: latest iteration tick a kill may target
+    kill_horizon: int = 25
+    #: latest send call a drop/delay/corrupt may target
+    send_horizon: int = 120
+    max_delay: float = 0.005
+    # -- smoke problem + solver settings -------------------------------
+    mesh_n: int = 12
+    degree: int = 1
+    delta: int = 1
+    nev: int = 2
+    num_masters: int = 2
+    tol: float = 1e-6
+    restart: int = 30
+    maxiter: int = 120
+    two_level: bool = True
+
+    def __post_init__(self):
+        if self.solves < 1:
+            raise ReproError(f"solves must be >= 1, got {self.solves}")
+        if self.nranks < 2:
+            raise ReproError(f"nranks must be >= 2, got {self.nranks}")
+        for name in ("kill_rate", "drop_rate", "delay_rate",
+                     "corrupt_rate", "storm_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {v}")
+
+
+@dataclass
+class ChaosReport:
+    """Campaign outcome: the survival floor check plus diagnostics."""
+
+    config: ChaosConfig
+    records: list = field(default_factory=list)
+
+    @property
+    def solves(self) -> int:
+        return len(self.records)
+
+    @property
+    def survived(self) -> int:
+        return sum(1 for r in self.records if r["survived"])
+
+    @property
+    def survival_rate(self) -> float:
+        return self.survived / self.solves if self.solves else 0.0
+
+    @property
+    def faulted_solves(self) -> int:
+        return sum(1 for r in self.records if r["planned_faults"])
+
+    @property
+    def repairs(self) -> int:
+        return sum(r["repairs"] for r in self.records)
+
+    def time_to_recover(self) -> list[float]:
+        """Per-repair time-to-recover (repair + restore), campaign-wide."""
+        out: list[float] = []
+        for r in self.records:
+            out.extend(r["ttr"])
+        return out
+
+    def fault_totals(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for r in self.records:
+            for kind, n in r["injected"].items():
+                totals[kind] = totals.get(kind, 0) + n
+        return totals
+
+    def to_dict(self) -> dict:
+        ttr = self.time_to_recover()
+        return {
+            "solves": self.solves,
+            "survived": self.survived,
+            "survival_rate": self.survival_rate,
+            "faulted_solves": self.faulted_solves,
+            "repairs": self.repairs,
+            "fault_totals": self.fault_totals(),
+            "time_to_recover": {
+                "count": len(ttr),
+                "mean": float(np.mean(ttr)) if ttr else 0.0,
+                "max": float(np.max(ttr)) if ttr else 0.0,
+            },
+            "records": self.records,
+        }
+
+
+# ----------------------------------------------------------------------
+# Plan generation
+# ----------------------------------------------------------------------
+
+def random_plan(rng: np.random.Generator, cfg: ChaosConfig) -> FaultPlan:
+    """Draw one solve's fault plan: each kind is an independent
+    Bernoulli at its configured rate, rank- and time-pinned by *rng*."""
+    specs: list[FaultSpec] = []
+    if rng.random() < cfg.kill_rate:
+        specs.append(FaultSpec(
+            kind="kill", op="iteration",
+            rank=int(rng.integers(cfg.nranks)),
+            nth=int(rng.integers(1, cfg.kill_horizon))))
+    if rng.random() < cfg.drop_rate:
+        specs.append(FaultSpec(
+            kind="drop", op="send",
+            rank=int(rng.integers(cfg.nranks)),
+            nth=int(rng.integers(cfg.send_horizon))))
+    if rng.random() < cfg.storm_rate:
+        # a burst of consecutive drops on one rank longer than the retry
+        # budget: the retries themselves advance the send counter, so
+        # budget+1 consecutive nth values defeat absorption and force
+        # the receiver-timeout -> repair path
+        r = int(rng.integers(cfg.nranks))
+        n0 = int(rng.integers(cfg.send_horizon))
+        for j in range(cfg.retry.max_retries + 1):
+            specs.append(FaultSpec(kind="drop", op="send", rank=r,
+                                   nth=n0 + j))
+    if rng.random() < cfg.delay_rate:
+        specs.append(FaultSpec(
+            kind="delay", op="send",
+            rank=int(rng.integers(cfg.nranks)),
+            nth=int(rng.integers(cfg.send_horizon)),
+            delay=float(rng.uniform(0.0, cfg.max_delay))))
+    if rng.random() < cfg.corrupt_rate:
+        specs.append(FaultSpec(
+            kind="corrupt", op="send",
+            rank=int(rng.integers(cfg.nranks)),
+            nth=int(rng.integers(cfg.send_horizon))))
+    return FaultPlan(faults=specs, seed=int(rng.integers(2**31)),
+                     timeout=cfg.timeout, retry=cfg.retry)
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+
+def build_problem(cfg: ChaosConfig):
+    """Build the smoke problem once per campaign: a heterogeneous
+    diffusion square partitioned into ``nranks`` overlapping subdomains
+    with a small GenEO space.  Returns ``(dec, space, b)``."""
+    from ..core import DeflationSpace, compute_deflation
+    from ..dd import Decomposition, Problem
+    from ..fem import channels_and_inclusions
+    from ..fem.forms import DiffusionForm
+    from ..mesh import unit_square
+    from ..partition import partition_mesh
+
+    mesh = unit_square(cfg.mesh_n)
+    kappa = channels_and_inclusions(mesh, seed=3)
+    problem = Problem(mesh, DiffusionForm(degree=cfg.degree, kappa=kappa))
+    part = partition_mesh(mesh, cfg.nranks, seed=1)
+    dec = Decomposition(problem, part, delta=cfg.delta)
+    Ws = [compute_deflation(s, nev=cfg.nev, seed=s.index).W
+          for s in dec.subdomains]
+    space = DeflationSpace(dec, Ws)
+    return dec, space, problem.rhs()
+
+
+def run_solve(dec, space, b, cfg: ChaosConfig, plan: FaultPlan | None,
+              *, recorder=None) -> dict:
+    """One campaign solve under *plan*; never raises — failures are the
+    data.  Returns the per-solve record."""
+    from ..common.errors import ReproError as _ReproError
+    from ..core.spmd_ft import solve_spmd_ft
+    from ..mpi.meter import Meter
+
+    meter = Meter(dec.num_subdomains, recorder=recorder)
+    record = {
+        "planned_faults": [f.to_dict() for f in plan.faults] if plan else [],
+        "survived": False, "converged": False, "completed": False,
+        "iterations": 0, "repairs": 0, "ttr": [], "injected": {},
+        "retries": 0, "error": None,
+    }
+    try:
+        rep = solve_spmd_ft(
+            dec, space, b, num_masters=cfg.num_masters, tol=cfg.tol,
+            restart=cfg.restart, maxiter=cfg.maxiter,
+            two_level=cfg.two_level, spares=cfg.spares,
+            checkpoint_every=cfg.checkpoint_every, faults=plan,
+            meter=meter, recorder=recorder)
+    except _ReproError as exc:
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    else:
+        record["completed"] = True
+        record["converged"] = bool(rep.converged)
+        record["survived"] = bool(rep.converged)
+        record["iterations"] = int(rep.iterations)
+        record["repairs"] = len(rep.recoveries)
+        record["ttr"] = [float(r["repair_seconds"] + r["restore_seconds"])
+                         for r in rep.recoveries]
+        record["two_level"] = bool(rep.two_level)
+    record["injected"] = meter.faults_by_kind()
+    record["retries"] = meter.total_retries()
+    record["rank_deaths"] = meter.rank_deaths
+    return record
+
+
+def run_campaign(cfg: ChaosConfig, *, recorder=None,
+                 progress=None) -> ChaosReport:
+    """Run the full seeded campaign.  *progress* (optional callable)
+    receives ``(solve_index, record)`` after each solve."""
+    dec, space, b = build_problem(cfg)
+    report = ChaosReport(config=cfg)
+    for s in range(cfg.solves):
+        rng = np.random.default_rng(cfg.seed + 1009 * s)
+        plan = random_plan(rng, cfg)
+        record = run_solve(dec, space, b, cfg,
+                           plan if plan.faults else None,
+                           recorder=recorder)
+        record["solve"] = s
+        report.records.append(record)
+        if progress is not None:
+            progress(s, record)
+    return report

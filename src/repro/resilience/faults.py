@@ -120,6 +120,58 @@ class FaultSpec:
         return cls(**d)
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Sender-side retry/backoff budget for transient-fault absorption.
+
+    When armed on a run (``run_spmd(retry=...)`` or ``FaultPlan.retry``)
+    a dropped ``send`` is retried up to ``max_retries`` times with
+    exponential backoff (``backoff * 2**attempt`` seconds, capped at
+    ``max_backoff``); each retry re-fires the injector, so
+    non-persistent drop specs are absorbed transparently while a drop
+    storm longer than the budget still escalates to the receiver-side
+    timeout and :class:`~repro.common.errors.RankFailure`.
+    """
+
+    max_retries: int = 3
+    backoff: float = 0.001
+    max_backoff: float = 0.05
+
+    def __post_init__(self):
+        if self.max_retries < 1:
+            raise ReproError(
+                f"max_retries must be >= 1, got {self.max_retries}")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ReproError("backoff values must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry *attempt* (0-based)."""
+        return min(self.backoff * (2.0 ** attempt), self.max_backoff)
+
+    def to_dict(self) -> dict:
+        return {"max_retries": self.max_retries, "backoff": self.backoff,
+                "max_backoff": self.max_backoff}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RetryPolicy":
+        known = {"max_retries", "backoff", "max_backoff"}
+        extra = set(d) - known
+        if extra:
+            raise ReproError(f"unknown retry-policy fields {sorted(extra)}")
+        return cls(**d)
+
+
+def as_retry(retry) -> "RetryPolicy | None":
+    """Coerce None / RetryPolicy / dict / an int budget into a policy."""
+    if retry is None or isinstance(retry, RetryPolicy):
+        return retry
+    if isinstance(retry, dict):
+        return RetryPolicy.from_dict(retry)
+    if isinstance(retry, int) and not isinstance(retry, bool):
+        return RetryPolicy(max_retries=retry)
+    raise ReproError(f"cannot build a RetryPolicy from {type(retry)!r}")
+
+
 @dataclass
 class FaultPlan:
     """A seeded list of fault specs plus the failure-detection timeout.
@@ -127,17 +179,22 @@ class FaultPlan:
     ``timeout`` bounds every blocking receive/barrier while the plan is
     active — a dropped message surfaces as a typed
     :class:`~repro.common.errors.RankFailure` after at most this many
-    seconds instead of the library-wide deadlock deadline.
+    seconds instead of the library-wide deadlock deadline.  An optional
+    ``retry`` :class:`RetryPolicy` arms sender-side drop absorption for
+    any run the plan is attached to.
     """
 
     faults: list[FaultSpec] = field(default_factory=list)
     seed: int = 0
     timeout: float = 30.0
+    retry: RetryPolicy | None = None
 
     def to_json(self) -> str:
-        return json.dumps({
-            "seed": self.seed, "timeout": self.timeout,
-            "faults": [f.to_dict() for f in self.faults]}, indent=2)
+        d = {"seed": self.seed, "timeout": self.timeout,
+             "faults": [f.to_dict() for f in self.faults]}
+        if self.retry is not None:
+            d["retry"] = self.retry.to_dict()
+        return json.dumps(d, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
@@ -145,9 +202,13 @@ class FaultPlan:
         if not isinstance(d, dict) or "faults" not in d:
             raise ReproError(
                 "fault plan must be a JSON object with a 'faults' list")
+        retry = d.get("retry")
+        if retry is not None:
+            retry = RetryPolicy.from_dict(retry)
         return cls(faults=[FaultSpec.from_dict(f) for f in d["faults"]],
                    seed=int(d.get("seed", 0)),
-                   timeout=float(d.get("timeout", 30.0)))
+                   timeout=float(d.get("timeout", 30.0)),
+                   retry=retry)
 
     @classmethod
     def load(cls, path: str) -> "FaultPlan":

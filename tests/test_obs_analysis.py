@@ -303,3 +303,46 @@ class TestMetrics:
         with pytest.raises(ValueError):
             validate_openmetrics(
                 "# TYPE a gauge\na 1\n# TYPE a gauge\na 2\n# EOF\n")
+
+    def test_meter_fault_counters_exported(self, rec):
+        # per-kind injected-fault counts + retry/repair tallies ride
+        # along when the run's meter is passed in
+        from repro.mpi.meter import Meter
+        from repro.obs import meter_counters
+        meter = Meter(4)
+        meter.on_fault(1, "drop", "send")
+        meter.on_fault(1, "drop", "send")
+        meter.on_fault(2, "kill", "iteration")
+        meter.on_retry(1)
+        meter.on_retry_outcome(1, recovered=True)
+        meter.on_rank_death(2)
+        meter.on_repair(1)
+
+        tallies = meter_counters(meter)
+        assert tallies["mpi.fault.drop"] == 2
+        assert tallies["mpi.fault.kill"] == 1
+        assert tallies["mpi.retry_attempts"] == 1
+        assert tallies["mpi.retry_recovered"] == 1
+        assert "mpi.retry_exhausted" not in tallies   # zero -> omitted
+        assert tallies["mpi.rank_deaths"] == 1
+        assert tallies["mpi.repairs"] == 1
+        assert tallies["mpi.ranks_replaced"] == 1
+
+        snap = snapshot(rec, meter=meter)
+        assert snap["counters"]["mpi.fault.drop"] == 2
+        assert snap["counters"]["matvecs"] == 5       # merged, not replaced
+
+        text = to_openmetrics(rec, meter=meter)
+        validate_openmetrics(text)
+        assert "repro_mpi_fault_drop_total 2" in text
+        assert "repro_mpi_fault_kill_total 1" in text
+        assert "repro_mpi_rank_deaths_total 1" in text
+        assert "repro_mpi_repairs_total 1" in text
+
+    def test_faultfree_meter_adds_nothing(self, rec):
+        from repro.mpi.meter import Meter
+        from repro.obs import meter_counters
+        meter = Meter(2)
+        assert meter_counters(meter) == {}
+        assert snapshot(rec, meter=meter)["counters"] == \
+            snapshot(rec)["counters"]

@@ -492,6 +492,29 @@ class TestFaultMatrix:
             with pytest.raises(RankFailure):
                 solver.solve(tol=1e-8)
 
+    def test_giveup_emits_event_and_counts(self):
+        # restart budget exhausted: the terminal give-up must be
+        # observable — a recovery.giveup event, a resilience["giveup"]
+        # count, and the state attached to the raised exception
+        from repro.obs import Recorder
+        recorder = Recorder()
+        solver = _small_solver(
+            faults=FAULT_CASES["kill_subdomain_persistent"],
+            recovery=RecoveryPolicy(mode="restart", max_restarts=2),
+            recorder=recorder)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(RankFailure) as ei:
+                solver.solve(tol=1e-8)
+        res = ei.value.resilience
+        assert res["giveup"] == 1
+        assert res["restarts"] == 2
+        giveups = [e for e in recorder.events
+                   if e.name == "recovery.giveup"]
+        assert len(giveups) == 1
+        assert giveups[0].attrs["reason"] == "RankFailure"
+        assert giveups[0].attrs["restarts"] == 2
+
     def test_degrade_disables_killed_subdomain(self):
         # degrade_sticky=True opts into keeping the degraded
         # configuration alive after the solve (lost-rank scenario)
