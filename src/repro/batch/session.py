@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..common.errors import ReproError
+from ..common.errors import ReproError, SymmetryError
 from ..core.adef import TwoLevelADEF1, TwoLevelADEF2, TwoLevelBNN
 from ..core.coarse import CoarseOperator
 from ..core.solver import SolveReport
@@ -115,22 +115,34 @@ class SolveSession:
 
         *driver* is ``"block-gmres"``, ``"block-cg"`` or ``"auto"``
         (block CG when the solver was configured for a CG-family
-        method — i.e. an SPD-compatible preconditioner — block GMRES
-        otherwise).  Converged columns are deflated from the block as
-        they finish; per-column convergence lands in the trace as
-        ``batch.column_converged`` events and on
-        :attr:`BatchReport.column_iterations`.
+        method AND the operator is actually SPD — the asymmetry flag
+        detected on the decomposition, not the driver name, is what
+        gates the CG family; block GMRES otherwise).  Requesting
+        ``"block-cg"`` explicitly on a nonsymmetric/indefinite operator
+        raises :class:`~repro.common.errors.SymmetryError`.  Converged
+        columns are deflated from the block as they finish; per-column
+        convergence lands in the trace as ``batch.column_converged``
+        events and on :attr:`BatchReport.column_iterations`.
         """
         B = np.asarray(B, dtype=np.float64)
         if B.ndim != 2:
             raise ReproError(
                 f"solve_many expects a column block, got ndim={B.ndim}")
+        operator_spd = getattr(self.decomposition, "is_spd", True)
         if driver == "auto":
             driver = "block-cg" \
-                if self.solver.krylov_name in ("cg", "deflated-cg") \
+                if (self.solver.krylov_name in ("cg", "deflated-cg")
+                    and operator_spd) \
                 else "block-gmres"
         if driver not in ("block-gmres", "block-cg"):
             raise ReproError(f"unknown block driver {driver!r}")
+        if driver == "block-cg" and not operator_spd:
+            kind = ("nonsymmetric"
+                    if not getattr(self.decomposition, "is_symmetric", True)
+                    else "symmetric indefinite")
+            raise SymmetryError(
+                f"driver='block-cg' requires an SPD operator, but this "
+                f"one is {kind} — use driver='block-gmres' (or 'auto')")
         profiler = self._make_profiler()
         pre = self._preconditioner
         if self.recorder.enabled:

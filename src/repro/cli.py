@@ -42,11 +42,17 @@ from . import ParallelConfig, SchwarzSolver
 from .common.asciiplot import semilogy, table
 from .common.errors import ReproError
 from .fem import channels_and_inclusions, layered_elasticity
-from .fem.forms import DiffusionForm, ElasticityForm
+from .fem.forms import (
+    ConvectionDiffusionForm,
+    DiffusionForm,
+    ElasticityForm,
+    HelmholtzForm,
+)
 from .mesh import cantilever_2d, unit_cube, unit_square
 from .partition import imbalance, partition_mesh
 
-PROBLEMS = ("diffusion2d", "diffusion3d", "elasticity2d", "elasticity3d")
+PROBLEMS = ("diffusion2d", "diffusion3d", "elasticity2d", "elasticity3d",
+            "convdiff2d", "helmholtz2d")
 
 
 def build_problem(args):
@@ -75,6 +81,24 @@ def build_problem(args):
         form = ElasticityForm(degree=args.degree or 1, lam=lam, mu=mu,
                               f=np.array([0.0, 0.0, -9.81]))
         return mesh, form, (lambda x: x[:, 2] < 1e-9)
+    if args.problem == "convdiff2d":
+        # heterogeneous convection–diffusion; --peclet scales the
+        # advection strength relative to the (contrasted) diffusivity
+        mesh = unit_square(args.n)
+        kappa = channels_and_inclusions(mesh, seed=args.seed)
+        peclet = getattr(args, "peclet", 0.0) or 100.0
+        beta = peclet * np.array([1.0, 0.35])
+        form = ConvectionDiffusionForm(degree=args.degree or 2,
+                                       kappa=kappa, beta=beta)
+        return mesh, form, None
+    if args.problem == "helmholtz2d":
+        # Helmholtz with absorption (real shifted formulation);
+        # --wavenumber sets k, fixed 20% absorption keeps the shifted
+        # operator solvable by the two-level method
+        mesh = unit_square(args.n)
+        k = getattr(args, "wavenumber", 0.0) or 10.0
+        form = HelmholtzForm(degree=args.degree or 2, k=k, epsilon=0.2)
+        return mesh, form, None
     raise SystemExit(f"unknown problem {args.problem!r}; "
                      f"choose from {PROBLEMS}")
 
@@ -105,7 +129,8 @@ def cmd_solve(args) -> int:
             seed=args.seed, parallel=parallel, recorder=recorder,
             faults=faults, recovery=args.recovery,
             kernel_backend=args.backend or None,
-            coarse_strategy=args.coarse_strategy or None)
+            coarse_strategy=args.coarse_strategy or None,
+            coarse_space=args.coarse_space or None)
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
     if args.rhs_batch > 1 or args.recycle:
@@ -117,6 +142,7 @@ def cmd_solve(args) -> int:
             ["subdomains", args.subdomains],
             ["coarse dim", solver.coarse_dim],
             ["coarse strategy", solver.coarse_strategy.name],
+            ["coarse space", solver.coarse_space_name],
             ["kernel backend", solver.kernels.name],
             ["iterations", report.iterations],
             ["converged", report.converged],
@@ -520,6 +546,16 @@ def make_parser() -> argparse.ArgumentParser:
                          "$REPRO_COARSE_STRATEGY or dense — "
                          "multilevel pairs with --krylov fgmres; see "
                          "docs/performance.md)")
+    ps.add_argument("--coarse-space", default="",
+                    help="which coarse space is built (geneo, extended, "
+                         "nicolaides; empty = $REPRO_COARSE_SPACE, or "
+                         "auto: geneo for SPD operators, extended for "
+                         "nonsymmetric/indefinite ones — see docs/api.md)")
+    ps.add_argument("--peclet", type=float, default=0.0,
+                    help="convdiff2d: advection strength |beta| "
+                         "(0 = default 100)")
+    ps.add_argument("--wavenumber", type=float, default=0.0,
+                    help="helmholtz2d: wavenumber k (0 = default 10)")
     ps.set_defaults(fn=cmd_solve)
 
     pi = sub.add_parser("info", help="print problem statistics")

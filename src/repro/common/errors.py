@@ -53,6 +53,17 @@ class RankFailure(CommunicatorError):
         self.flight: dict | None = None
 
 
+class SymmetryError(ReproError):
+    """A symmetry-requiring code path received a nonsymmetric operator.
+
+    Raised by the cg-family drivers (``cg``, ``deflated-cg``,
+    ``block-cg``), :func:`repro.fem.postprocess.energy_norm` and the
+    SPD-only kernel fast paths when handed a matrix that fails
+    ``check_symmetric`` — instead of silently returning garbage from a
+    structurally wrong factorisation or a negative "norm".
+    """
+
+
 class SolverError(ReproError):
     """Direct-solver failure (singular pivot, non-SPD matrix in Cholesky)."""
 

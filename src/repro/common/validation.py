@@ -62,6 +62,19 @@ def check_square(A, name: str = "matrix") -> None:
         raise ReproError(f"{name} must be square, got shape {A.shape}")
 
 
+def matrix_is_symmetric(A, tol: float = 1e-10) -> bool:
+    """Non-raising boolean companion to :func:`check_symmetric`.
+
+    Used wherever code *branches* on symmetry (driver dispatch, kernel
+    factorisation mode, coarse-solve fallbacks) rather than requiring it.
+    """
+    A = as_csr(A, "matrix")
+    diff = (A - A.T).tocoo()
+    if diff.nnz == 0:
+        return True
+    return bool(np.max(np.abs(diff.data)) <= tol * max(1.0, abs(A).max()))
+
+
 def check_symmetric(A, name: str = "matrix", tol: float = 1e-10) -> None:
     """Cheap symmetry check for sparse matrices (exact pattern + values)."""
     A = as_csr(A, name)

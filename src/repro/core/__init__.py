@@ -24,7 +24,17 @@ from .coarse_strategies import (
     strategy_names,
 )
 from .deflation import DeflationSpace
-from .geneo import GeneoResult, compute_deflation, geneo_pencil, nicolaides_deflation
+from .geneo import (
+    GeneoResult,
+    available_coarse_spaces,
+    compute_deflation,
+    extended_deflation,
+    extended_pencil,
+    geneo_pencil,
+    get_coarse_space,
+    nicolaides_deflation,
+    register_coarse_space,
+)
 from .ras import OneLevelASM, OneLevelRAS
 from .ritz import arnoldi, harmonic_ritz_pairs, ritz_deflation
 from .solver import SchwarzSolver, SolveReport
@@ -61,8 +71,13 @@ __all__ = [
     "register_strategy",
     "strategy_names",
     "compute_deflation",
+    "extended_deflation",
     "nicolaides_deflation",
     "geneo_pencil",
+    "extended_pencil",
+    "get_coarse_space",
+    "register_coarse_space",
+    "available_coarse_spaces",
     "GeneoResult",
     "SpmdFtReport",
     "solve_spmd_ft",

@@ -92,21 +92,39 @@ def csr_from_blocks(space, blocks) -> sp.csr_matrix:
 # ----------------------------------------------------------------------
 
 class _PseudoInverse:
-    """Truncated-eigendecomposition solve for (near-)singular E."""
+    """Truncated-decomposition solve for (near-)singular E.
+
+    Symmetric E goes through ``eigh`` (the historical, bitwise-pinned
+    route).  Nonsymmetric E — where an eigendecomposition with real
+    ascending eigenvalues simply does not exist — is routed through the
+    SVD instead: ``E⁺ = V_k diag(1/s_k) U_kᵀ`` over the singular values
+    above the rank cut.  For symmetric positive semi-definite E the two
+    coincide, so the SVD route is the strict generalisation.
+    """
 
     def __init__(self, E, rank_tol: float):
         import scipy.linalg as sla
-        w, V = sla.eigh(E.toarray())
-        cut = rank_tol * max(float(w.max()), 1e-300)
-        keep = w > cut
-        self.rank = int(keep.sum())
-        self._V = V[:, keep]
-        self._winv = 1.0 / w[keep]
+        from ...common.validation import matrix_is_symmetric
         self.n = E.shape[0]
+        if matrix_is_symmetric(E):
+            w, V = sla.eigh(E.toarray())
+            cut = rank_tol * max(float(w.max()), 1e-300)
+            keep = w > cut
+            self.rank = int(keep.sum())
+            self._U = self._V = V[:, keep]
+            self._winv = 1.0 / w[keep]
+        else:
+            U, s, Vt = sla.svd(E.toarray())
+            cut = rank_tol * max(float(s.max()), 1e-300)
+            keep = s > cut
+            self.rank = int(keep.sum())
+            self._U = U[:, keep]
+            self._V = Vt[keep].T
+            self._winv = 1.0 / s[keep]
         self.nnz_factor = self.n * self.rank
 
     def solve(self, b):
-        c = self._V.T @ b
+        c = self._U.T @ b
         scaled = self._winv[:, None] * c if c.ndim == 2 else self._winv * c
         return self._V @ scaled
 

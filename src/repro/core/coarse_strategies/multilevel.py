@@ -144,9 +144,19 @@ class MultilevelCoarseSolve:
             vecs = [d / np.linalg.norm(d)]
             if nev2 > 0:
                 import scipy.linalg as sla
+                from ...common.validation import matrix_is_symmetric
                 k = min(nev2, dofs.size - 1)
-                w2, V2 = sla.eigh(Eloc.toarray())
-                for v in (V2[:, :k] * d[:, None]).T:
+                if matrix_is_symmetric(Eloc):
+                    w2, V2 = sla.eigh(Eloc.toarray())
+                    low = V2[:, :k]
+                else:
+                    # nonsymmetric local block: eigh's "ascending real
+                    # eigenvalues" contract does not exist — enrich with
+                    # the smallest right singular vectors instead (the
+                    # near-null directions an inexact solve misses)
+                    _, s2, Vt2 = sla.svd(Eloc.toarray())
+                    low = Vt2[::-1][:k].T
+                for v in (low * d[:, None]).T:
                     nrm = np.linalg.norm(v)
                     if nrm > 0:
                         vecs.append(v / nrm)
@@ -163,7 +173,12 @@ class MultilevelCoarseSolve:
         self.Z2 = sp.csr_matrix((vals, (rows, cols)), shape=(m, m2))
         self.dim2 = m2
         E2 = np.asarray((self.Z2.T @ (E @ self.Z2)).todense())
-        E2 = 0.5 * (E2 + E2.T)
+        from ...common.validation import matrix_is_symmetric
+        if matrix_is_symmetric(sp.csr_matrix(E2)):
+            # symmetrise only actual round-off: for a genuinely
+            # nonsymmetric E, E2 inherits the asymmetry and forcing
+            # ½(E2 + E2ᵀ) would change the operator, not clean it
+            E2 = 0.5 * (E2 + E2.T)
         from ...solvers.local import DenseFactorization
         self._e2 = DenseFactorization(
             E2, shift=1e-12 * max(float(np.abs(np.diag(E2)).max()), 1e-300))

@@ -19,12 +19,14 @@ first, as they must be).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
-from ..common.errors import EigenError, RankFailure
+from ..common.errors import EigenError, RankFailure, ReproError
+from ..common.validation import matrix_is_symmetric
 from ..dd.decomposition import Subdomain
 from ..eigen import lanczos_generalized, subspace_iteration
 from ..solvers import factorize
@@ -47,8 +49,46 @@ def geneo_pencil(sub: Subdomain) -> tuple[sp.csr_matrix, sp.csr_matrix]:
 
     A = A_i^δ (Neumann);  B = D Π A_i^δ Π D with Π = R_{i,0}ᵀR_{i,0}
     the 0/1 projector on the overlap dofs.
+
+    The classical pencil is only defined for symmetric A_i^δ — a
+    nonsymmetric Neumann matrix is symmetrised (½(A + Aᵀ)) with a
+    warning so the symmetric-GenEO *baseline* stays runnable on the
+    nonsymmetric workloads (the bench compares it against the extended
+    space, :func:`extended_pencil`, which is the correct construction).
     """
+    import warnings
+
     A = sub.A_neu
+    if not matrix_is_symmetric(A):
+        warnings.warn(
+            f"subdomain {sub.index}: Neumann matrix is nonsymmetric; "
+            f"symmetrising for the classical GenEO pencil — prefer "
+            f"coarse_space='extended' for nonsymmetric operators",
+            RuntimeWarning, stacklevel=2)
+        A = (0.5 * (A + A.T)).tocsr()
+    mask = sub.overlap_mask.astype(np.float64)
+    d_pi = sub.d * mask
+    Dp = sp.diags(d_pi)
+    B = (Dp @ A @ Dp).tocsr()
+    return A, B
+
+
+def extended_pencil(sub: Subdomain) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+    """The extended (SPD-surrogate) pencil of Nataf–Parolin
+    (arXiv:2404.02758) for nonsymmetric/indefinite operators.
+
+    The eigensolve runs on ``A_spd`` — the form's symmetric positive
+    (semi-)definite principal part (``Subdomain.A_geneo``: diffusion +
+    SUPG streamline term for convection–diffusion, the stiffness part
+    for Helmholtz à la Δ-GenEO) — with the same overlap-projected
+    right-hand operator as eq. (9).  When the form supplies no
+    surrogate, the symmetric part ``½(A_i^δ + (A_i^δ)ᵀ)`` is used.
+    """
+    A = sub.A_geneo
+    if A is None:
+        A = sub.A_neu
+        if not matrix_is_symmetric(A):
+            A = (0.5 * (A + A.T)).tocsr()
     mask = sub.overlap_mask.astype(np.float64)
     d_pi = sub.d * mask
     Dp = sp.diags(d_pi)
@@ -76,6 +116,25 @@ def compute_deflation(sub: Subdomain, *, nev: int = 10,
         (cross-check via ``scipy.sparse.linalg.eigsh``).
     """
     A, B = geneo_pencil(sub)
+    lam, vecs = _solve_pencil(A, B, nev=nev, tau=tau, shift_rel=shift_rel,
+                              method=method, seed=seed)
+    W = sub.d[:, None] * vecs                     # eq. (8)
+    # normalise the columns: the Lanczos vectors are (A + σI)-orthonormal,
+    # so kernel modes carry 2-norms of O(1/√σ) that would destroy the
+    # conditioning of E; rescaling does not change span(Z)
+    norms = np.linalg.norm(W, axis=0)
+    norms[norms < 1e-300] = 1.0
+    W = W / norms
+    return GeneoResult(W=W, eigenvalues=lam, nu=W.shape[1])
+
+
+def _solve_pencil(A: sp.csr_matrix, B: sp.csr_matrix, *, nev: int,
+                  tau: float | None, shift_rel: float, method: str,
+                  seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Solve the inverted pencil ``B v = μ (A + σI) v`` for the *nev*
+    smallest-λ eigenpairs (μ = 1/λ); shared by the classical and
+    extended GenEO builders.  *A* must be symmetric positive
+    semi-definite."""
     n = A.shape[0]
     if nev < 1:
         raise EigenError(f"nev must be >= 1, got {nev}")
@@ -122,14 +181,40 @@ def compute_deflation(sub: Subdomain, *, nev: int = 10,
         # degenerate but legal: contribute the D-weighted constant instead
         vecs = np.ones((n, 1))
         lam = np.array([np.inf])
+    return lam, vecs
+
+
+def extended_deflation(sub: Subdomain, *, nev: int = 10,
+                       tau: float | None = None,
+                       shift_rel: float = DEFAULT_SHIFT_REL,
+                       method: str = "lanczos",
+                       seed: int = 0) -> GeneoResult:
+    """Extended-GenEO deflation for nonsymmetric/indefinite operators
+    (Nataf & Parolin, arXiv:2404.02758).
+
+    Same selection as :func:`compute_deflation` but the pencil runs on
+    the SPD surrogate (:func:`extended_pencil`), and the D-scaled
+    vectors are orthonormalised by a *Euclidean* rank-revealing QR —
+    A-orthogonality arguments do not survive a non-Hermitian operator,
+    and a well-conditioned Euclidean basis keeps E = ZᵀAZ invertible
+    regardless of the operator's symmetry.
+    """
+    A, B = extended_pencil(sub)
+    lam, vecs = _solve_pencil(A, B, nev=nev, tau=tau, shift_rel=shift_rel,
+                              method=method, seed=seed)
     W = sub.d[:, None] * vecs                     # eq. (8)
-    # normalise the columns: the Lanczos vectors are (A + σI)-orthonormal,
-    # so kernel modes carry 2-norms of O(1/√σ) that would destroy the
-    # conditioning of E; rescaling does not change span(Z)
-    norms = np.linalg.norm(W, axis=0)
-    norms[norms < 1e-300] = 1.0
-    W = W / norms
-    return GeneoResult(W=W, eigenvalues=lam, nu=W.shape[1])
+    # non-Hermitian-safe orthonormalisation: reduced QR with tiny-pivot
+    # column dropping (span(W) is preserved; near-dependent columns —
+    # e.g. duplicated kernel modes after D-scaling — are discarded)
+    Q, R = np.linalg.qr(W, mode="reduced")
+    rdiag = np.abs(np.diag(R))
+    keep = rdiag > 1e-12 * max(float(rdiag.max()), 1e-300)
+    if not np.all(keep):
+        Q, lam = Q[:, keep], lam[keep]
+    if Q.shape[1] == 0:  # pragma: no cover - degenerate but legal
+        Q = np.ones((W.shape[0], 1)) / np.sqrt(W.shape[0])
+        lam = np.array([np.inf])
+    return GeneoResult(W=Q, eigenvalues=lam, nu=Q.shape[1])
 
 
 def resilient_deflation(sub: Subdomain, *, nev: int = 10,
@@ -137,7 +222,7 @@ def resilient_deflation(sub: Subdomain, *, nev: int = 10,
                         shift_rel: float = DEFAULT_SHIFT_REL,
                         method: str = "lanczos", seed: int = 0,
                         injector=None, recorder=None,
-                        on_fallback=None) -> GeneoResult:
+                        on_fallback=None, builder=None) -> GeneoResult:
     """:func:`compute_deflation` with the recovery ladder of
     ``docs/resilience.md``: an eigensolve failure (genuine, or injected
     through *injector*'s ``eigensolve`` op) is retried once with a
@@ -145,18 +230,22 @@ def resilient_deflation(sub: Subdomain, *, nev: int = 10,
     :func:`nicolaides_deflation` coarse vectors for this subdomain, with
     a logged warning and a ``recovery.eigensolve_fallback`` trace event.
     The solve stays two-level — only this subdomain's block of the
-    coarse space is degraded.
+    coarse space is degraded.  *builder* selects the eigensolve-based
+    coarse-space builder (:func:`compute_deflation` by default,
+    :func:`extended_deflation` for nonsymmetric operators).
     """
     import warnings
 
+    if builder is None:
+        builder = compute_deflation
     last_exc: Exception | None = None
     for attempt in range(2):
         try:
             if injector is not None:
                 injector.fire("eigensolve", sub.index)
-            return compute_deflation(sub, nev=nev, tau=tau,
-                                     shift_rel=shift_rel, method=method,
-                                     seed=seed + 104729 * attempt)
+            return builder(sub, nev=nev, tau=tau,
+                           shift_rel=shift_rel, method=method,
+                           seed=seed + 104729 * attempt)
         except (EigenError, RankFailure, FloatingPointError,
                 np.linalg.LinAlgError) as exc:
             last_exc = exc
@@ -184,3 +273,61 @@ def nicolaides_deflation(sub: Subdomain, ncomp: int = 1) -> GeneoResult:
         e[c::ncomp] = 1.0
         W[:, c] = sub.d * e
     return GeneoResult(W=W, eigenvalues=np.zeros(ncomp), nu=ncomp)
+
+
+# ----------------------------------------------------------------------
+# Coarse-space registry (mirrors the kernel-backend / coarse-strategy
+# registries: names resolvable from code or $REPRO_COARSE_SPACE)
+# ----------------------------------------------------------------------
+
+def _nicolaides_builder(sub: Subdomain, *, ncomp: int = 1,
+                        **_ignored) -> GeneoResult:
+    """Registry adapter: Nicolaides takes no eigensolve parameters."""
+    return nicolaides_deflation(sub, ncomp=ncomp)
+
+
+#: name -> per-subdomain coarse-space builder
+#: ``builder(sub, *, nev, tau, shift_rel, method, seed, ncomp) -> GeneoResult``
+_COARSE_SPACES: dict[str, object] = {}
+
+
+def register_coarse_space(name: str, builder) -> None:
+    """Register a per-subdomain coarse-space builder under *name*."""
+    _COARSE_SPACES[name] = builder
+
+
+def available_coarse_spaces() -> list[str]:
+    return sorted(_COARSE_SPACES)
+
+
+def get_coarse_space(name: str | None = None, *,
+                     operator_is_spd: bool = True):
+    """Resolve a coarse-space builder by registry name.
+
+    ``None`` resolves ``$REPRO_COARSE_SPACE`` and then auto-selects:
+    ``"geneo"`` for SPD operators (the paper's construction),
+    ``"extended"`` (Nataf–Parolin) for nonsymmetric/indefinite ones.
+    Returns ``(name, builder)``.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_COARSE_SPACE") or None
+    if name is None:
+        name = "geneo" if operator_is_spd else "extended"
+    if name not in _COARSE_SPACES:
+        raise ReproError(
+            f"unknown coarse space {name!r}; expected one of "
+            f"{available_coarse_spaces()}")
+    return name, _COARSE_SPACES[name]
+
+
+def _geneo_builder(sub, *, ncomp: int = 1, **kwargs) -> GeneoResult:
+    return compute_deflation(sub, **kwargs)
+
+
+def _extended_builder(sub, *, ncomp: int = 1, **kwargs) -> GeneoResult:
+    return extended_deflation(sub, **kwargs)
+
+
+register_coarse_space("geneo", _geneo_builder)
+register_coarse_space("extended", _extended_builder)
+register_coarse_space("nicolaides", _nicolaides_builder)

@@ -31,6 +31,7 @@ from ..common.errors import (
     KrylovBreakdown,
     RankFailure,
     ReproError,
+    SymmetryError,
 )
 from ..common.timing import PhaseTimer
 from ..dd.decomposition import Decomposition
@@ -56,7 +57,7 @@ from .coarse import CoarseOperator
 from .coarse_strategies import get_strategy as get_coarse_strategy
 from .deflation import DeflationSpace
 from .geneo import (
-    compute_deflation,
+    get_coarse_space,
     nicolaides_deflation,
     resilient_deflation,
 )
@@ -170,6 +171,17 @@ class SchwarzSolver:
         falls back to the bitwise-reference ``dense`` strategy.  The
         ``multilevel`` strategy is *inexact* — pair it with
         ``krylov="fgmres"`` (a warning is raised otherwise).
+    coarse_space:
+        Which per-subdomain coarse-space builder fills the deflation
+        space — a registry name (``"geneo"``, ``"extended"``,
+        ``"nicolaides"``; see
+        :func:`repro.core.geneo.register_coarse_space`).  ``None``
+        resolves ``$REPRO_COARSE_SPACE`` and then auto-selects:
+        ``"geneo"`` (the paper's construction) for SPD operators,
+        ``"extended"`` (Nataf–Parolin extended pencil on the SPD
+        surrogate, non-Hermitian-safe orthonormalisation) for
+        nonsymmetric/indefinite ones.  ``nev=0`` still forces the
+        Nicolaides space, as before.
     """
 
     def __init__(self, mesh: SimplexMesh, form: Form, *,
@@ -179,6 +191,7 @@ class SchwarzSolver:
                  krylov: str = "gmres", backend: str = "superlu",
                  coarse_backend: str = "superlu",
                  coarse_strategy=None,
+                 coarse_space: str | None = None,
                  partition_method: str = "multilevel",
                  eigensolver: str = "lanczos",
                  dirichlet=None, part: np.ndarray | None = None,
@@ -227,7 +240,7 @@ class SchwarzSolver:
             self._setup(mesh, form, num_subdomains, delta, nev, tau,
                         preconditioner, backend, coarse_backend,
                         partition_method, eigensolver, dirichlet, part,
-                        scaling, seed)
+                        scaling, seed, coarse_space)
         self.preconditioner_name = preconditioner
         if self.recorder.enabled:
             self.recorder.gauge("num_subdomains",
@@ -236,7 +249,8 @@ class SchwarzSolver:
 
     def _setup(self, mesh, form, num_subdomains, delta, nev, tau,
                preconditioner, backend, coarse_backend, partition_method,
-               eigensolver, dirichlet, part, scaling, seed) -> None:
+               eigensolver, dirichlet, part, scaling, seed,
+               coarse_space) -> None:
         self.problem = Problem(mesh, form, dirichlet=dirichlet,
                                scaling=scaling)
         #: kept for components that re-factorize a coarse operator later
@@ -252,6 +266,21 @@ class SchwarzSolver:
                                                recorder=self.recorder,
                                                kernels=self.kernels)
 
+        #: operator symmetry, detected once on the decomposition and
+        #: consumed by driver dispatch, solve_many's auto-pick and the
+        #: kernel backends (the "real flag instead of assuming SPD")
+        self.is_symmetric = self.decomposition.is_symmetric
+        self.is_spd = self.decomposition.is_spd
+        if self.krylov_name in ("cg", "deflated-cg") and not self.is_spd:
+            kind = ("nonsymmetric" if not self.is_symmetric
+                    else "symmetric indefinite")
+            raise SymmetryError(
+                f"krylov={self.krylov_name!r} requires an SPD operator, "
+                f"but {type(form).__name__} assembles a {kind} one — "
+                f"use gmres/fgmres/sstep instead")
+        self.coarse_space_name, self._coarse_space_builder = \
+            get_coarse_space(coarse_space, operator_is_spd=self.is_spd)
+
         with self.timer.phase("factorization"):
             one_level_cls = OneLevelASM if preconditioner in ("asm", "bnn") \
                 else OneLevelRAS
@@ -266,6 +295,10 @@ class SchwarzSolver:
         if preconditioner in ("adef1", "adef2", "bnn"):
             with self.timer.phase("deflation"):
                 ncomp = self.problem.space.ncomp
+                cs_builder = self._coarse_space_builder
+
+                def build(s, **kw):
+                    return cs_builder(s, ncomp=ncomp, **kw)
 
                 def deflate(s):
                     if nev == 0:
@@ -275,14 +308,15 @@ class SchwarzSolver:
                             s, nev=nev, tau=tau, method=eigensolver,
                             seed=seed + s.index, injector=self.injector,
                             recorder=self.recorder,
-                            on_fallback=self.eigensolve_fallbacks.append)
+                            on_fallback=self.eigensolve_fallbacks.append,
+                            builder=build)
                     if self.injector is not None:
                         # faults still fire with recovery off — they must
                         # surface as typed errors, never be masked
                         self.injector.fire("eigensolve", s.index)
-                    return compute_deflation(s, nev=nev, tau=tau,
-                                             method=eigensolver,
-                                             seed=seed + s.index)
+                    return build(s, nev=nev, tau=tau,
+                                 method=eigensolver,
+                                 seed=seed + s.index)
 
                 # per-subdomain GenEO eigensolves under the executor;
                 # timed_map records each subdomain on its own clock

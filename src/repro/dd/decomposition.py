@@ -60,6 +60,10 @@ class Subdomain:
     #: boolean mask of local dofs lying in the overlap ∪_j (V_i^δ ∩ V_j^δ)
     #: — the R_{i,0} of the GenEO eigenproblem (eq. 9)
     overlap_mask: np.ndarray | None = None
+    #: SPD surrogate of A_neu for the extended-GenEO pencil (the form's
+    #: ``assemble_geneo_matrix``); ``None`` for forms whose A_neu is
+    #: already symmetric positive semi-definite
+    A_geneo: sp.csr_matrix | None = None
 
     @property
     def size(self) -> int:
@@ -125,6 +129,28 @@ class Decomposition:
             self._apply_scaling()
         with self.recorder.span("build_exchange"):
             self._build_exchange()
+        self._detect_symmetry()
+
+    # ------------------------------------------------------------------
+    def _detect_symmetry(self) -> None:
+        """Detect (a)symmetry of the global operator once, from local data.
+
+        Every global nonzero ``A[p, q]`` comes from a cell interior to
+        some subdomain's T_i^δ, so both ``(p, q)`` and ``(q, p)`` appear
+        in that subdomain's principal submatrix ``A_dir`` — all-local
+        symmetry therefore implies global symmetry, without ever
+        assembling A.  The result is recorded on the operator as
+        :attr:`is_symmetric`/:attr:`is_spd`, the single flag that driver
+        dispatch, ``solve_many``'s auto-pick, deflated-cg validation and
+        the kernel backends all branch on.
+        """
+        from ..common.validation import matrix_is_symmetric
+        self.is_symmetric = all(
+            matrix_is_symmetric(s.A_dir) for s in self.subdomains)
+        #: symmetric + the form's definiteness claim (indefinite forms
+        #: such as Helmholtz declare spd=False even though symmetric)
+        self.is_spd = bool(
+            self.is_symmetric and getattr(self.problem.form, "spd", True))
 
     # ------------------------------------------------------------------
     def _apply_scaling(self) -> None:
@@ -137,12 +163,16 @@ class Decomposition:
             return
         scale = np.zeros(self.problem.num_free)
         for s in self.subdomains:
-            scale[s.dofs] = 1.0 / np.sqrt(s.A_dir.diagonal())
+            # |diag|: indefinite operators carry negative diagonal
+            # entries; bitwise identical to sqrt(diag) for SPD forms
+            scale[s.dofs] = 1.0 / np.sqrt(np.abs(s.A_dir.diagonal()))
         self.problem.set_scale(scale)
         for s in self.subdomains:
             Si = sp.diags(scale[s.dofs])
             s.A_dir = (Si @ s.A_dir @ Si).tocsr()
             s.A_neu = (Si @ s.A_neu @ Si).tocsr()
+            if s.A_geneo is not None:
+                s.A_geneo = (Si @ s.A_geneo @ Si).tocsr()
 
     # ------------------------------------------------------------------
     def _build_subdomains(self) -> None:
@@ -201,6 +231,12 @@ class Decomposition:
             keep_idx = np.flatnonzero(keep)
             A_neu = A_neu[keep_idx][:, keep_idx].tocsr()
 
+            # SPD surrogate for the extended-GenEO pencil, same V_i^δ
+            # reduction as A_neu (None for plain-GenEO-compatible forms)
+            A_geneo = form.assemble_geneo_matrix(space0, cell_map=cmap0)
+            if A_geneo is not None:
+                A_geneo = A_geneo[keep_idx][:, keep_idx].tocsr()
+
             # partition-of-unity diagonal
             verts, chi_vals = chi[i]
             if not np.array_equal(verts, vmap0):  # pragma: no cover
@@ -211,7 +247,8 @@ class Decomposition:
 
             return Subdomain(
                 index=i, cells=cells_d, layers=layers_d, mesh=smesh0,
-                space=space0, dofs=dofs, A_dir=A_dir, A_neu=A_neu, d=d)
+                space=space0, dofs=dofs, A_dir=A_dir, A_neu=A_neu, d=d,
+                A_geneo=A_geneo)
 
         self.subdomains = parallel_map(build_one, range(N), self.parallel)
 

@@ -93,7 +93,10 @@ class Problem:
         if self._scale is None:
             A, _ = self._full_system
             d = A.diagonal()[self.free]
-            self.set_scale(1.0 / np.sqrt(d))
+            # |d|: indefinite operators (Helmholtz past the resonance)
+            # have negative diagonal entries; sqrt(d) would be NaN.
+            # Bitwise identical to the old expression for SPD operators.
+            self.set_scale(1.0 / np.sqrt(np.abs(d)))
         return self._scale
 
     def matrix(self) -> sp.csr_matrix:

@@ -8,11 +8,22 @@ and 9.
 
 from .assembly import (
     apply_dirichlet,
+    assemble_advection,
     assemble_elasticity,
     assemble_load,
     assemble_mass,
     assemble_stiffness,
+    assemble_streamline_diffusion,
+    assemble_streamline_load,
     restrict_to_free,
+)
+from .forms import (
+    ConvectionDiffusionForm,
+    DiffusionForm,
+    ElasticityForm,
+    Form,
+    HelmholtzForm,
+    supg_tau,
 )
 from .boundary import assemble_boundary_load
 from .convergence import ConvergenceStudy, convergence_study
@@ -54,11 +65,20 @@ __all__ = [
     "simplex_quadrature",
     "grundmann_moeller",
     "assemble_stiffness",
+    "assemble_advection",
     "assemble_elasticity",
     "assemble_mass",
     "assemble_load",
+    "assemble_streamline_diffusion",
+    "assemble_streamline_load",
     "apply_dirichlet",
     "restrict_to_free",
+    "Form",
+    "DiffusionForm",
+    "ElasticityForm",
+    "ConvectionDiffusionForm",
+    "HelmholtzForm",
+    "supg_tau",
     "channels_and_inclusions",
     "layered_elasticity",
     "lame_parameters",

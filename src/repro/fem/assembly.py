@@ -83,6 +83,37 @@ def _coefficient_at_quadrature(coeff, space: FunctionSpace, qpts: np.ndarray,
                    f"{nc}, or callable; got array of shape {arr.shape}")
 
 
+def _vector_coefficient_at_quadrature(coeff, space: FunctionSpace,
+                                      qpts: np.ndarray,
+                                      name: str) -> np.ndarray:
+    """Evaluate a vector-valued *coeff* as a ``(nc, nq, dim)`` array.
+
+    Accepts: a constant vector of length ``dim``, a per-cell ``(nc, dim)``
+    array, or a callable mapping ``(n, dim)`` physical points to
+    ``(n, dim)`` vectors.
+    """
+    mesh = space.mesh
+    nc, nq, dim = mesh.num_cells, qpts.shape[0], mesh.dim
+    if callable(coeff):
+        v = mesh.vertices[mesh.cells]
+        origin = v[:, 0, :]
+        edges = v[:, 1:, :] - v[:, :1, :]
+        phys = origin[:, None, :] + np.einsum("qd,cde->cqe", qpts, edges)
+        vals = np.asarray(coeff(phys.reshape(-1, dim)), dtype=np.float64)
+        if vals.shape != (nc * nq, dim):
+            raise FEMError(f"{name} callable returned shape {vals.shape}, "
+                           f"expected ({nc * nq}, {dim})")
+        return vals.reshape(nc, nq, dim)
+    arr = np.asarray(coeff, dtype=np.float64)
+    if arr.shape == (dim,):
+        return np.broadcast_to(arr, (nc, nq, dim)).copy()
+    if arr.shape == (nc, dim):
+        return np.repeat(arr[:, None, :], nq, axis=1)
+    raise FEMError(f"{name} must be a length-{dim} vector, a per-cell "
+                   f"({nc}, {dim}) array, or a callable; got shape "
+                   f"{arr.shape}")
+
+
 def _physical_gradients(space: FunctionSpace, qpts: np.ndarray):
     """Per-cell physical basis gradients ``(nc, nq, n_loc, dim)`` and the
     quadrature scaling ``w_q |det J|`` of shape ``(nc, nq)``."""
@@ -193,6 +224,81 @@ def assemble_elasticity(space: FunctionSpace, lam, mu,
     nc_cells, n_loc = Ke.shape[0], Ke.shape[1]
     nd = n_loc * dim
     return _scatter(space, Ke.reshape(nc_cells, nd, nd), vector=True)
+
+
+def assemble_advection(space: FunctionSpace, beta,
+                       quad_degree: int | None = None) -> sp.csr_matrix:
+    """Advection matrix ``∫ (β·∇u) v`` — the nonsymmetric half of the
+    convection–diffusion operator.
+
+    *space* must be scalar.  ``β`` as per
+    :func:`_vector_coefficient_at_quadrature`.  For constant ``β`` and
+    homogeneous Dirichlet conditions on the whole boundary, the
+    restriction of this matrix to the free dofs is exactly
+    skew-symmetric (integration by parts with ∇·β = 0).
+    """
+    if space.ncomp != 1:
+        raise FEMError("assemble_advection requires a scalar space")
+    k = space.degree
+    qd = quad_degree if quad_degree is not None else max(0, 2 * k - 1)
+    qpts, qw = simplex_quadrature(space.mesh.dim, qd)
+    gphys, detJ = _physical_gradients(space, qpts)
+    phi = space.ref.eval_basis(qpts)              # (nq, n_loc)
+    beta_q = _vector_coefficient_at_quadrature(beta, space, qpts, "beta")
+    wdet = qw[None, :] * detJ[:, None]            # (nc, nq)
+    # rows i = test function v, cols j = trial function u
+    bgrad = np.einsum("cqd,cqjd->cqj", beta_q, gphys, optimize=True)
+    Ke = np.einsum("cq,qi,cqj->cij", wdet, phi, bgrad, optimize=True)
+    return _scatter(space, Ke, vector=False)
+
+
+def assemble_streamline_diffusion(space: FunctionSpace, beta, tau,
+                                  quad_degree: int | None = None
+                                  ) -> sp.csr_matrix:
+    """SUPG stabilisation matrix ``∫ τ (β·∇u)(β·∇v)`` with a per-cell
+    stabilisation parameter ``τ`` (symmetric positive semi-definite)."""
+    if space.ncomp != 1:
+        raise FEMError("assemble_streamline_diffusion requires a "
+                       "scalar space")
+    k = space.degree
+    qd = quad_degree if quad_degree is not None else max(0, 2 * k - 1)
+    qpts, qw = simplex_quadrature(space.mesh.dim, qd)
+    gphys, detJ = _physical_gradients(space, qpts)
+    beta_q = _vector_coefficient_at_quadrature(beta, space, qpts, "beta")
+    tau_c = np.asarray(tau, dtype=np.float64)
+    if tau_c.ndim == 0:
+        tau_c = np.full(space.mesh.num_cells, float(tau_c))
+    if tau_c.shape != (space.mesh.num_cells,):
+        raise FEMError(f"tau must be scalar or per-cell array of length "
+                       f"{space.mesh.num_cells}, got shape {tau_c.shape}")
+    wdet = qw[None, :] * detJ[:, None]
+    bgrad = np.einsum("cqd,cqid->cqi", beta_q, gphys, optimize=True)
+    scale = tau_c[:, None] * wdet                 # (nc, nq)
+    Ke = np.einsum("cq,cqi,cqj->cij", scale, bgrad, bgrad, optimize=True)
+    return _scatter(space, Ke, vector=False)
+
+
+def assemble_streamline_load(space: FunctionSpace, beta, tau, f,
+                             quad_degree: int | None = None) -> np.ndarray:
+    """SUPG right-hand-side correction ``∫ τ f (β·∇v)`` — keeps the
+    stabilised discretisation consistent for the exact solution."""
+    if space.ncomp != 1:
+        raise FEMError("assemble_streamline_load requires a scalar space")
+    k = space.degree
+    qd = quad_degree if quad_degree is not None else max(0, 2 * k - 1)
+    qpts, qw = simplex_quadrature(space.mesh.dim, qd)
+    gphys, detJ = _physical_gradients(space, qpts)
+    beta_q = _vector_coefficient_at_quadrature(beta, space, qpts, "beta")
+    fq = _coefficient_at_quadrature(f, space, qpts, "f")
+    tau_c = np.asarray(tau, dtype=np.float64)
+    if tau_c.ndim == 0:
+        tau_c = np.full(space.mesh.num_cells, float(tau_c))
+    wdet = qw[None, :] * detJ[:, None]
+    bgrad = np.einsum("cqd,cqid->cqi", beta_q, gphys, optimize=True)
+    be = np.einsum("c,cq,cq,cqi->ci", tau_c, wdet, fq, bgrad, optimize=True)
+    b = np.zeros(space.num_dofs)
+    np.add.at(b, space.cell_scalar_dofs.ravel(), be.ravel())
+    return b
 
 
 # ----------------------------------------------------------------------

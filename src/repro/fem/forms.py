@@ -17,7 +17,15 @@ import scipy.sparse as sp
 
 from ..common.errors import FEMError
 from ..mesh import SimplexMesh
-from .assembly import assemble_elasticity, assemble_load, assemble_stiffness
+from .assembly import (
+    assemble_advection,
+    assemble_elasticity,
+    assemble_load,
+    assemble_mass,
+    assemble_stiffness,
+    assemble_streamline_diffusion,
+    assemble_streamline_load,
+)
 from .space import FunctionSpace
 
 
@@ -31,12 +39,29 @@ def _restrict(coeff, cell_map):
     return arr[cell_map]
 
 
+def _restrict_vector(coeff, cell_map):
+    """Restrict a vector coefficient: only per-cell ``(nc, dim)`` arrays
+    are indexed — constant vectors and callables pass through."""
+    if coeff is None or callable(coeff) or cell_map is None:
+        return coeff
+    arr = np.asarray(coeff)
+    if arr.ndim == 2:
+        return arr[cell_map]
+    return arr
+
+
 class Form:
-    """Abstract variational form; see :class:`DiffusionForm` and
-    :class:`ElasticityForm`."""
+    """Abstract variational form; see :class:`DiffusionForm`,
+    :class:`ElasticityForm`, :class:`ConvectionDiffusionForm` and
+    :class:`HelmholtzForm`."""
 
     degree: int
     ncomp: int
+    #: ``a(u, v) == a(v, u)`` — drives symmetry-aware dispatch downstream
+    symmetric: bool = True
+    #: restricted free-dof operator is symmetric positive definite —
+    #: gates the cg family, deflated-cg and the LDL kernel fast paths
+    spd: bool = True
 
     def make_space(self, mesh: SimplexMesh) -> FunctionSpace:
         return FunctionSpace(mesh, self.degree, self.ncomp)
@@ -48,6 +73,18 @@ class Form:
     def assemble_rhs(self, space: FunctionSpace,
                      cell_map=None) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError
+
+    def assemble_geneo_matrix(self, space: FunctionSpace,
+                              cell_map=None) -> sp.csr_matrix | None:
+        """SPD surrogate for the extended-GenEO pencil (Nataf–Parolin).
+
+        Nonsymmetric/indefinite forms override this with the symmetric
+        positive (semi-)definite part of their operator — the principal
+        elliptic term — so the coarse eigensolve runs on a well-posed
+        symmetric pencil.  ``None`` (the default, correct for SPD forms)
+        means "use the operator itself".
+        """
+        return None
 
 
 @dataclass
@@ -107,3 +144,172 @@ class ElasticityForm(Form):
             f = np.zeros(space.mesh.dim)
             f[-1] = -9.81  # gravity, the paper's body force
         return assemble_load(space, f)
+
+
+def _cell_values(coeff, mesh, name: str, default: float = 1.0) -> np.ndarray:
+    """Per-cell scalar values of *coeff* (centroid samples for callables)."""
+    if coeff is None:
+        return np.full(mesh.num_cells, default)
+    if callable(coeff):
+        return np.asarray(coeff(mesh.cell_centroids()), dtype=np.float64)
+    arr = np.asarray(coeff, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.full(mesh.num_cells, float(arr))
+    if arr.shape == (mesh.num_cells,):
+        return arr
+    raise FEMError(f"{name} must be None, scalar, per-cell array or "
+                   f"callable; got shape {arr.shape}")
+
+
+def _cell_vectors(coeff, mesh, name: str) -> np.ndarray:
+    """Per-cell vector values of *coeff*, shape ``(nc, dim)``."""
+    if callable(coeff):
+        return np.asarray(coeff(mesh.cell_centroids()), dtype=np.float64)
+    arr = np.asarray(coeff, dtype=np.float64)
+    if arr.shape == (mesh.dim,):
+        return np.broadcast_to(arr, (mesh.num_cells, mesh.dim)).copy()
+    if arr.shape == (mesh.num_cells, mesh.dim):
+        return arr
+    raise FEMError(f"{name} must be a length-{mesh.dim} vector, per-cell "
+                   f"({mesh.num_cells}, {mesh.dim}) array or callable; "
+                   f"got shape {arr.shape}")
+
+
+def supg_tau(mesh, beta, kappa) -> np.ndarray:
+    """Per-cell SUPG stabilisation parameter.
+
+    ``τ_c = h_c/(2|β_c|) · (coth(Pe_c) − 1/Pe_c)`` with the cell Péclet
+    number ``Pe_c = |β_c| h_c / (2 κ_c)`` — the classical optimal choice
+    for linear elements (Brooks & Hughes).  Vanishing advection gives
+    ``τ = 0`` (the diffusive limit of the formula).
+    """
+    h = mesh.cell_diameters()
+    bmag = np.linalg.norm(_cell_vectors(beta, mesh, "beta"), axis=1)
+    kap = _cell_values(kappa, mesh, "kappa")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pe = bmag * h / (2.0 * kap)
+        # coth(Pe) - 1/Pe, series Pe/3 below the cancellation threshold
+        xi = np.where(pe > 1e-6, 1.0 / np.tanh(np.maximum(pe, 1e-300))
+                      - 1.0 / np.maximum(pe, 1e-300), pe / 3.0)
+        tau = np.where(bmag > 0.0, h / (2.0 * np.maximum(bmag, 1e-300)) * xi,
+                       0.0)
+    return tau
+
+
+@dataclass
+class ConvectionDiffusionForm(Form):
+    """``a(u, v) = ∫ κ ∇u·∇v + (β·∇u) v [+ τ (β·∇u)(β·∇v)]`` — steady
+    convection–diffusion with SUPG (streamline-upwind Petrov–Galerkin)
+    stabilisation; the nonsymmetric workload of ROADMAP item 2.
+
+    ``kappa`` (diffusivity) as in :class:`DiffusionForm` — heterogeneous
+    per-cell fields supported; ``beta`` is the advecting velocity
+    (constant vector, per-cell ``(nc, dim)`` array, or callable);
+    ``stabilization`` is ``"supg"`` (default) or ``"none"``.  The cell
+    Péclet number ``|β| h / (2κ)`` controls how nonsymmetric the
+    operator is.
+    """
+
+    degree: int
+    kappa: object = None
+    beta: object = None
+    f: object = 1.0
+    stabilization: str = "supg"
+
+    ncomp: int = 1
+    symmetric: bool = False
+    spd: bool = False
+
+    def __post_init__(self):
+        if self.stabilization not in ("supg", "none"):
+            raise FEMError(f"unknown stabilization "
+                           f"{self.stabilization!r}; use 'supg' or 'none'")
+        if self.beta is None:
+            raise FEMError("ConvectionDiffusionForm requires a velocity "
+                           "field beta")
+
+    def _tau(self, mesh, beta, kappa):
+        if self.stabilization != "supg":
+            return None
+        return supg_tau(mesh, beta, kappa)
+
+    def assemble_matrix(self, space, cell_map=None):
+        if space.ncomp != 1:
+            raise FEMError("ConvectionDiffusionForm requires a scalar space")
+        kappa = _restrict(self.kappa, cell_map)
+        beta = _restrict_vector(self.beta, cell_map)
+        A = assemble_stiffness(space, kappa)
+        A = A + assemble_advection(space, beta)
+        tau = self._tau(space.mesh, beta, kappa)
+        if tau is not None:
+            A = A + assemble_streamline_diffusion(space, beta, tau)
+        return A.tocsr()
+
+    def assemble_rhs(self, space, cell_map=None):
+        kappa = _restrict(self.kappa, cell_map)
+        beta = _restrict_vector(self.beta, cell_map)
+        b = assemble_load(space, self.f)
+        tau = self._tau(space.mesh, beta, kappa)
+        if tau is not None:
+            b = b + assemble_streamline_load(space, beta, tau, self.f)
+        return b
+
+    def assemble_geneo_matrix(self, space, cell_map=None):
+        # symmetric positive (semi-)definite part: diffusion + the SUPG
+        # streamline term — the extended pencil of Nataf–Parolin
+        kappa = _restrict(self.kappa, cell_map)
+        beta = _restrict_vector(self.beta, cell_map)
+        A = assemble_stiffness(space, kappa)
+        tau = self._tau(space.mesh, beta, kappa)
+        if tau is not None:
+            A = A + assemble_streamline_diffusion(space, beta, tau)
+        return A.tocsr()
+
+
+@dataclass
+class HelmholtzForm(Form):
+    """``a(u, v) = ∫ κ ∇u·∇v − (1−ε) k² u v`` — Helmholtz with absorption
+    in the real shifted formulation (symmetric **indefinite**).
+
+    ``k`` is the wavenumber (scalar, per-cell array or callable — a
+    heterogeneous ``k`` models contrast in the wave speed); ``epsilon``
+    the absorption fraction shifting the operator off the real spectrum
+    (``ε = 0`` is pure Helmholtz).  The operator stays symmetric but
+    loses definiteness once ``k h`` resolves a resonance, so the cg
+    family is rejected and the Δ-GenEO-style surrogate (stiffness only,
+    Bootland et al.) drives the extended coarse space.
+    """
+
+    degree: int
+    kappa: object = None
+    k: object = 5.0
+    epsilon: float = 0.0
+    f: object = 1.0
+
+    ncomp: int = 1
+    symmetric: bool = True
+    spd: bool = False
+
+    def _mass_coefficient(self, cell_map):
+        scale = 1.0 - self.epsilon
+        k = self.k
+        if callable(k):
+            return lambda x: scale * np.asarray(k(x), dtype=np.float64) ** 2
+        arr = np.asarray(_restrict(k, cell_map), dtype=np.float64)
+        return scale * arr ** 2
+
+    def assemble_matrix(self, space, cell_map=None):
+        if space.ncomp != 1:
+            raise FEMError("HelmholtzForm requires a scalar space")
+        K = assemble_stiffness(space, _restrict(self.kappa, cell_map))
+        M = assemble_mass(space, self._mass_coefficient(cell_map))
+        return (K - M).tocsr()
+
+    def assemble_rhs(self, space, cell_map=None):
+        return assemble_load(space, self.f)
+
+    def assemble_geneo_matrix(self, space, cell_map=None):
+        # Δ-GenEO surrogate (Bootland et al.): the definite stiffness
+        # part only — the indefinite mass shift is excluded from the
+        # pencil so the eigensolve stays SPD
+        return assemble_stiffness(space, _restrict(self.kappa, cell_map))

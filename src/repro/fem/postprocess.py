@@ -118,9 +118,30 @@ def h1_seminorm(space: FunctionSpace, u: np.ndarray) -> float:
 
 
 def energy_norm(A, u: np.ndarray) -> float:
-    """√(uᵀAu) for an SPD operator/matrix."""
+    """√(uᵀAu) for an SPD operator/matrix.
+
+    Raises :class:`~repro.common.errors.SymmetryError` when *A* is a
+    nonsymmetric matrix or the quadratic form comes out significantly
+    negative (indefinite operator) — √(uᵀAu) is only a norm for SPD
+    *A*, and silently clamping a structurally negative value would turn
+    a wrong answer into a plausible-looking one.  Tiny negative
+    round-off is still clamped to zero.
+    """
+    from ..common.errors import SymmetryError
+    from ..common.validation import matrix_is_symmetric
+
+    if not callable(A) and not matrix_is_symmetric(A):
+        raise SymmetryError(
+            "energy_norm requires a symmetric operator; got a "
+            "nonsymmetric matrix — use a residual norm instead")
     Au = A(u) if callable(A) else A @ u
-    return float(np.sqrt(max(u @ Au, 0.0)))
+    quad = float(u @ Au)
+    scale = float(np.linalg.norm(u) * np.linalg.norm(Au))
+    if quad < -1e-10 * max(1.0, scale):
+        raise SymmetryError(
+            f"energy_norm got a negative quadratic form (u·Au = "
+            f"{quad:.3e}): the operator is not positive definite")
+    return float(np.sqrt(max(quad, 0.0)))
 
 
 def l2_error(space: FunctionSpace, u: np.ndarray, exact) -> float:

@@ -19,6 +19,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..common.errors import SolverError
+from ..common.validation import matrix_is_symmetric
 from ..solvers.local import factorize
 from .base import KernelBackend
 from .csrc import load_library
@@ -55,6 +56,13 @@ class CompiledBackend(KernelBackend):
         if shift:
             A = (sp.csr_matrix(A)
                  + shift * sp.eye(A.shape[0], format="csr"))
+        if not matrix_is_symmetric(A):
+            # explicit asymmetry gate (see Fp32Backend.factorize_local):
+            # symmetric no-pivot mode is structurally wrong for
+            # nonsymmetric matrices; use general-mode LU instead
+            if self.recorder.enabled:
+                self.recorder.add("kernel.compiled_nonsymmetric_locals", 1)
+            return factorize(A, method)
         try:
             fact = SymmetricLDLFactorization(A, dtype=np.float64,
                                              lib=self._lib)

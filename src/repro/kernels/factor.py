@@ -26,7 +26,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from ..common.errors import SolverError
+from ..common.errors import SolverError, SymmetryError
+from ..common.validation import matrix_is_symmetric
 from ..solvers.local import Factorization
 
 _SYMMETRIC_OPTIONS = dict(
@@ -59,6 +60,14 @@ class SymmetricLDLFactorization(Factorization):
         A = sp.csc_matrix(A)
         if A.shape[0] != A.shape[1]:
             raise SolverError(f"matrix must be square, got {A.shape}")
+        if not matrix_is_symmetric(A):
+            # SuperLU symmetric mode (no pivoting, MMD on AᵀA + A) is
+            # structurally wrong for nonsymmetric input; fail with a
+            # typed error here instead of hoping a probe catches it
+            raise SymmetryError(
+                "SymmetricLDLFactorization requires a symmetric matrix; "
+                "use the general-mode LU (repro.solvers.factorize) for "
+                "nonsymmetric operators")
         self.n = A.shape[0]
         self.dtype = np.dtype(dtype)
         self._lib = lib

@@ -31,6 +31,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..common.errors import SolverError
+from ..common.validation import matrix_is_symmetric
 from ..solvers.local import factorize
 from .base import KernelBackend
 from .csrc import load_library
@@ -74,6 +75,15 @@ def make_ldl_coarse_solve(backend, coarse, dtype, probe_tol: float):
     if coarse.rank_deficient:
         return None
     if not getattr(coarse.strategy, "exact", True):
+        return None
+    if not matrix_is_symmetric(coarse.E):
+        # nonsymmetric E must never reach SuperLU symmetric mode — the
+        # no-pivot LDLᵀ would be structurally wrong, and a loose probe
+        # tolerance is not a correctness guarantee.  The caller keeps
+        # its own (general LU) coarse solve path.
+        backend.notes.append(
+            "coarse operator E is nonsymmetric; LDL mirror skipped, "
+            "coarse solve stays on the general-LU fp64 path")
         return None
     lib = load_library()
     try:
@@ -182,6 +192,14 @@ class Fp32Backend(KernelBackend):
         if shift:
             A = (sp.csr_matrix(A)
                  + shift * sp.eye(A.shape[0], format="csr"))
+        if not matrix_is_symmetric(A):
+            # explicit asymmetry gate: a nonsymmetric matrix must never
+            # be factorised in SuperLU symmetric mode — the probe's
+            # loose tolerance (1e-2) could accept a structurally wrong
+            # LDLᵀ.  Documented fallback: general-mode LU (fp64).
+            if self.recorder.enabled:
+                self.recorder.add("kernel.fp32_nonsymmetric_locals", 1)
+            return factorize(A, method)
         try:
             fact = SymmetricLDLFactorization(A, dtype=np.float32,
                                              lib=self._lib)
